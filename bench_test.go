@@ -1,0 +1,199 @@
+package repro
+
+// Benchmarks that regenerate every figure and table of the paper (reduced
+// "quick" scale so iterations stay in the hundreds of milliseconds; run
+// cmd/experiments for the full-scale tables), plus micro-benchmarks of the
+// core data paths.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/experiment"
+	"repro/internal/lossless"
+	"repro/internal/offline"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	runner := experiment.All()[name]
+	if runner == nil {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab, err := runner(experiment.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per paper artefact (see DESIGN.md §5).
+
+func BenchmarkFig2(b *testing.B)             { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)             { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)             { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)             { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)             { benchExperiment(b, "fig6") }
+func BenchmarkTableBRD(b *testing.B)         { benchExperiment(b, "brd") }
+func BenchmarkTableBufferRatio(b *testing.B) { benchExperiment(b, "bufratio") }
+func BenchmarkTableVarSlices(b *testing.B)   { benchExperiment(b, "varslices") }
+func BenchmarkTableGreedyUB(b *testing.B)    { benchExperiment(b, "greedyub") }
+func BenchmarkTableGreedyLB(b *testing.B)    { benchExperiment(b, "greedylb") }
+func BenchmarkTableOnlineLB(b *testing.B)    { benchExperiment(b, "onlinelb") }
+func BenchmarkTableLossless(b *testing.B)    { benchExperiment(b, "lossless") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core data paths.
+// ---------------------------------------------------------------------------
+
+func benchClip(b *testing.B, frames int) *trace.Clip {
+	b.Helper()
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = frames
+	clip, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return clip
+}
+
+func benchByteStream(b *testing.B, frames int) *stream.Stream {
+	b.Helper()
+	st, err := trace.ByteSliceStream(benchClip(b, frames), trace.PaperWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func benchFrameStream(b *testing.B, frames int) *stream.Stream {
+	b.Helper()
+	st, err := trace.WholeFrameStream(benchClip(b, frames), trace.PaperWeights())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkSimulate measures the full-system simulator on a byte-sliced
+// 1000-frame clip (~38k unit slices) per policy.
+func BenchmarkSimulate(b *testing.B) {
+	st := benchByteStream(b, 1000)
+	cfg := func(f drop.Factory) core.Config {
+		return core.Config{ServerBuffer: 480, Rate: 35, Policy: f}
+	}
+	for _, tc := range []struct {
+		name string
+		f    drop.Factory
+	}{{"TailDrop", drop.TailDrop}, {"HeadDrop", drop.HeadDrop}, {"Greedy", drop.Greedy}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Simulate(st, cfg(tc.f)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimalUnit measures the matroid-greedy offline optimum on the
+// byte-sliced clip.
+func BenchmarkOptimalUnit(b *testing.B) {
+	st := benchByteStream(b, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.OptimalUnit(st, 480, 35); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalFrames measures the occupancy DP on whole-frame slices.
+func BenchmarkOptimalFrames(b *testing.B) {
+	st := benchFrameStream(b, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.OptimalFrames(st, 480, 35); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGenerate measures the synthetic MPEG generator.
+func BenchmarkTraceGenerate(b *testing.B) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinRate measures the O(T^2) zero-loss rate calculator.
+func BenchmarkMinRate(b *testing.B) {
+	st := benchFrameStream(b, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lossless.MinRate(st, 480); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoredPlan measures the taut-string optimal stored-video plan.
+func BenchmarkStoredPlan(b *testing.B) {
+	clip := benchClip(b, 1000)
+	demand := make([]int, len(clip.Frames))
+	for i, f := range clip.Frames {
+		demand[i] = f.Size
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lossless.OptimalStoredPlan(demand, 480, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidate measures the schedule validator on a lossy run.
+func BenchmarkValidate(b *testing.B) {
+	st := benchByteStream(b, 500)
+	s, err := core.Simulate(st, core.Config{ServerBuffer: 480, Rate: 33, Policy: drop.Greedy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension-experiment benchmarks (see internal/experiment/extensions.go).
+
+func BenchmarkTableMuxGain(b *testing.B)      { benchExperiment(b, "muxgain") }
+func BenchmarkTableAlternatives(b *testing.B) { benchExperiment(b, "alternatives") }
+func BenchmarkTableDecode(b *testing.B)       { benchExperiment(b, "decode") }
+func BenchmarkTableProactive(b *testing.B)    { benchExperiment(b, "proactive") }
+func BenchmarkTableJitter(b *testing.B)       { benchExperiment(b, "jitter") }
+
+func BenchmarkTableGlitch(b *testing.B)       { benchExperiment(b, "glitch") }
+func BenchmarkTableAdaptive(b *testing.B)     { benchExperiment(b, "adaptive") }
+func BenchmarkTableAdmission(b *testing.B)    { benchExperiment(b, "admission") }
+func BenchmarkTableRobust(b *testing.B)       { benchExperiment(b, "robust") }
+func BenchmarkTableSmartWeights(b *testing.B) { benchExperiment(b, "smartweights") }
+func BenchmarkTableFairness(b *testing.B)     { benchExperiment(b, "fairness") }

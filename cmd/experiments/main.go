@@ -1,0 +1,121 @@
+// Command experiments regenerates the paper's figures and the validation
+// tables for its theorems (see DESIGN.md §5 for the index).
+//
+// Usage:
+//
+//	experiments                      run everything, print aligned tables
+//	experiments -list                list experiment IDs
+//	experiments -run fig3,onlinelb   run a subset
+//	experiments -plot                add ASCII plots
+//	experiments -csv DIR             also write one CSV per experiment
+//	experiments -quick               reduced settings (benchmark scale)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		only     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		plot     = flag.Bool("plot", false, "render ASCII plots")
+		csvDir   = flag.String("csv", "", "directory to write per-experiment CSV files")
+		mdDir    = flag.String("md", "", "directory to write per-experiment Markdown tables")
+		quick    = flag.Bool("quick", false, "reduced settings")
+		frames   = flag.Int("frames", 0, "override synthetic clip length")
+		seed     = flag.Int64("seed", 0, "override trace seed")
+		parallel = flag.Int("parallel", 1, "experiments to run concurrently (output order preserved)")
+	)
+	flag.Parse()
+
+	registry := experiment.All()
+	if *list {
+		for _, name := range experiment.Names() {
+			fmt.Println(name)
+		}
+		return nil
+	}
+
+	names := experiment.Names()
+	if *only != "" {
+		names = strings.Split(*only, ",")
+		for _, n := range names {
+			if _, ok := registry[n]; !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", n)
+			}
+		}
+	}
+	for _, dir := range []string{*csvDir, *mdDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+
+	cfg := experiment.Config{Quick: *quick, Frames: *frames, Seed: *seed}
+
+	// Run experiments with bounded concurrency; results print in the
+	// requested order regardless of completion order.
+	type outcome struct {
+		tab *experiment.Table
+		err error
+	}
+	results := make([]chan outcome, len(names))
+	sem := make(chan struct{}, maxInt(*parallel, 1))
+	for i, name := range names {
+		results[i] = make(chan outcome, 1)
+		go func(name string, ch chan outcome) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tab, err := registry[name](cfg)
+			ch <- outcome{tab, err}
+		}(name, results[i])
+	}
+	for i, name := range names {
+		res := <-results[i]
+		if res.err != nil {
+			return fmt.Errorf("%s: %w", name, res.err)
+		}
+		fmt.Println(res.tab.Text())
+		if *plot {
+			fmt.Println(res.tab.Plot(72, 18))
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(res.tab.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("# wrote %s\n\n", path)
+		}
+		if *mdDir != "" {
+			path := filepath.Join(*mdDir, name+".md")
+			if err := os.WriteFile(path, []byte(res.tab.Markdown()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("# wrote %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestLoadClipProfiles(t *testing.T) {
+	for _, p := range []string{"news", "sports", "movie"} {
+		clip, err := loadClip("", p, 50, 1)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if len(clip.Frames) != 50 {
+			t.Errorf("%s: %d frames", p, len(clip.Frames))
+		}
+	}
+	if _, err := loadClip("", "bogus", 50, 1); err == nil {
+		t.Error("bogus profile accepted")
+	}
+	if _, err := loadClip("/nonexistent/trace.txt", "news", 50, 1); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command smoothd serves a smoothed real-time stream over TCP using the
+// netstream protocol: each connecting client gets the clip paced at the
+// configured rate through a lossy smoothing buffer, with B = R·D negotiated
+// per the paper's law from the client's advertised latency budget.
+//
+// Usage:
+//
+//	smoothd [-listen :4321] [-trace FILE] [-frames N]
+//	        [-rate-factor F] [-step 40ms] [-policy greedy] [-once]
+//
+// Pair it with cmd/smoothplay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/drop"
+	"repro/internal/netstream"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":4321", "TCP listen address")
+		tracePath  = flag.String("trace", "", "trace file (default: synthetic clip)")
+		frames     = flag.Int("frames", 500, "synthetic clip length")
+		seed       = flag.Int64("seed", 1, "synthetic clip seed")
+		rateFactor = flag.Float64("rate-factor", 1.1, "link rate relative to the average stream rate")
+		step       = flag.Duration("step", 40*time.Millisecond, "wall-clock duration of one model step")
+		policyName = flag.String("policy", "greedy", "drop policy: taildrop, headdrop, greedy")
+		once       = flag.Bool("once", false, "serve a single connection and exit")
+		streams    = flag.Int("streams", 1, "substreams to multiplex over one shared smoothing buffer")
+	)
+	flag.Parse()
+
+	if *streams < 1 {
+		log.Fatalf("smoothd: -streams must be >= 1")
+	}
+	clips := make([]*trace.Clip, *streams)
+	for i := range clips {
+		c, err := loadClip(*tracePath, *frames, *seed+int64(i))
+		if err != nil {
+			log.Fatalf("smoothd: %v", err)
+		}
+		clips[i] = c
+	}
+	clip := clips[0]
+	rate := int(*rateFactor * clip.AverageRate() * float64(*streams))
+	if rate < 1 {
+		rate = 1
+	}
+	var factory drop.Factory
+	switch *policyName {
+	case "taildrop":
+		factory = drop.TailDrop
+	case "headdrop":
+		factory = drop.HeadDrop
+	case "greedy":
+		factory = drop.Greedy
+	default:
+		log.Fatalf("smoothd: unknown policy %q", *policyName)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("smoothd: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("smoothd: serving %d frames (avg rate %.1f units/frame) at R=%d units/step on %s",
+		len(clip.Frames), clip.AverageRate(), rate, ln.Addr())
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("smoothd: accept: %v", err)
+		}
+		serve := func(c net.Conn) {
+			defer c.Close()
+			start := time.Now()
+			var err error
+			if *streams > 1 {
+				err = serveMuxSession(c, clips, rate, *step, factory)
+			} else {
+				err = netstream.Serve(c, clip, trace.PaperWeights(), netstream.ServeConfig{
+					Rate:         rate,
+					StepDuration: *step,
+					Policy:       netstream.SenderConfig{Policy: factory},
+				})
+			}
+			if err != nil {
+				log.Printf("smoothd: session %s: %v", c.RemoteAddr(), err)
+				return
+			}
+			log.Printf("smoothd: session %s done in %v", c.RemoteAddr(), time.Since(start).Round(time.Millisecond))
+		}
+		if *once {
+			serve(conn)
+			return
+		}
+		go serve(conn)
+	}
+}
+
+// serveMuxSession performs the handshake and pushes all substreams through
+// one shared smoothing buffer (B = R*D from the client's latency budget).
+func serveMuxSession(c net.Conn, clips []*trace.Clip, rate int, step time.Duration, factory drop.Factory) error {
+	msg, err := netstream.ReadMsg(c)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if msg.Hello == nil {
+		return fmt.Errorf("expected hello")
+	}
+	delay := int(msg.Hello.DesiredDelay)
+	if delay <= 0 || delay > 256 {
+		delay = 32
+	}
+	buffer := rate * delay
+	if err := netstream.WriteAccept(c, netstream.Accept{
+		Rate:         uint32(rate),
+		Delay:        uint32(delay),
+		ServerBuffer: uint32(buffer),
+		StepMicros:   uint32(step / time.Microsecond),
+	}); err != nil {
+		return err
+	}
+	dropped, err := netstream.ServeMux(c, clips, netstream.SenderConfig{
+		ServerBuffer: buffer,
+		Rate:         rate,
+		Delay:        delay,
+		Policy:       factory,
+	}, step)
+	if err != nil {
+		return err
+	}
+	log.Printf("smoothd: mux session shed %d slices", dropped)
+	return nil
+}
+
+func loadClip(path string, frames int, seed int64) (*trace.Clip, error) {
+	if path == "" {
+		cfg := trace.DefaultGenConfig()
+		cfg.Frames = frames
+		cfg.Seed = seed
+		return trace.Generate(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := trace.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return c, nil
+}

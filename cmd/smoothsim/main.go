@@ -1,0 +1,163 @@
+// Command smoothsim runs one smoothing simulation over a trace and prints
+// the schedule's metrics: throughput, benefit, weighted loss, per-site drop
+// counts, and the three resource requirements of Definition 2.4.
+//
+// Usage:
+//
+//	smoothsim [-trace FILE] [-frames N] [-rate-factor F | -rate R]
+//	          [-buffer-multiple M | -buffer B] [-policy NAME]
+//	          [-slices byte|frame] [-delay D] [-optimal]
+//
+// Without -trace, a synthetic clip is generated (see cmd/tracegen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/offline"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smoothsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		tracePath  = flag.String("trace", "", "trace file (default: synthetic clip)")
+		frames     = flag.Int("frames", 2000, "synthetic clip length")
+		seed       = flag.Int64("seed", 1, "synthetic clip seed")
+		rateFactor = flag.Float64("rate-factor", 1.1, "link rate relative to the average stream rate")
+		rate       = flag.Int("rate", 0, "absolute link rate in units/step (overrides -rate-factor)")
+		bufMult    = flag.Float64("buffer-multiple", 4, "buffer size in multiples of the max frame size")
+		buffer     = flag.Int("buffer", 0, "absolute buffer size in units (overrides -buffer-multiple)")
+		delay      = flag.Int("delay", 0, "smoothing delay D (default: ceil(B/R), the B=RD law)")
+		policyName = flag.String("policy", "greedy", "drop policy: taildrop, headdrop, greedy, random")
+		sliceMode  = flag.String("slices", "byte", "slice granularity: byte or frame")
+		optimal    = flag.Bool("optimal", false, "also compute the exact offline optimum")
+		timeline   = flag.Bool("timeline", false, "render an ASCII occupancy timeline")
+		jsonOut    = flag.String("json", "", "write the full schedule as JSON to this file")
+	)
+	flag.Parse()
+
+	clip, err := loadClip(*tracePath, *frames, *seed)
+	if err != nil {
+		return err
+	}
+	var st *stream.Stream
+	switch *sliceMode {
+	case "byte":
+		st, err = trace.ByteSliceStream(clip, trace.PaperWeights())
+	case "frame":
+		st, err = trace.WholeFrameStream(clip, trace.PaperWeights())
+	default:
+		return fmt.Errorf("unknown slice mode %q", *sliceMode)
+	}
+	if err != nil {
+		return err
+	}
+
+	R := *rate
+	if R <= 0 {
+		R = int(*rateFactor*clip.AverageRate() + 0.5)
+		if R < 1 {
+			R = 1
+		}
+	}
+	B := *buffer
+	if B <= 0 {
+		B = int(*bufMult * float64(clip.MaxFrameSize()))
+		if B < 1 {
+			B = 1
+		}
+	}
+	factory, err := policyByName(*policyName, *seed)
+	if err != nil {
+		return err
+	}
+
+	s, err := core.Simulate(st, core.Config{
+		ServerBuffer: B,
+		Rate:         R,
+		Delay:        *delay,
+		Policy:       factory,
+	})
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("internal error — schedule invalid: %w", err)
+	}
+
+	fmt.Printf("trace:         %d frames, avg rate %.1f, max frame %d units; slices=%s\n",
+		len(clip.Frames), clip.AverageRate(), clip.MaxFrameSize(), *sliceMode)
+	fmt.Print(s.Report())
+	if *timeline {
+		fmt.Print(s.Timeline(96, 12))
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("schedule JSON written to %s\n", *jsonOut)
+	}
+
+	if *optimal {
+		var res *offline.Result
+		if st.UnitSliced() {
+			res, err = offline.OptimalUnit(st, B, R)
+		} else {
+			res, err = offline.OptimalFrames(st, B, R)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal:      benefit %.6g (%.2f%% weighted loss); online/optimal = %.4f\n",
+			res.Benefit, 100*(st.TotalWeight()-res.Benefit)/st.TotalWeight(),
+			s.Benefit()/res.Benefit)
+	}
+	return nil
+}
+
+func loadClip(path string, frames int, seed int64) (*trace.Clip, error) {
+	if path == "" {
+		cfg := trace.DefaultGenConfig()
+		cfg.Frames = frames
+		cfg.Seed = seed
+		return trace.Generate(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func policyByName(name string, seed int64) (drop.Factory, error) {
+	switch name {
+	case "taildrop":
+		return drop.TailDrop, nil
+	case "headdrop":
+		return drop.HeadDrop, nil
+	case "greedy":
+		return drop.Greedy, nil
+	case "random":
+		return drop.Random(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

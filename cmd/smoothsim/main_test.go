@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"taildrop", "headdrop", "greedy", "random"} {
+		f, err := policyByName(name, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if f() == nil {
+			t.Errorf("%s: nil policy", name)
+		}
+	}
+	if _, err := policyByName("bogus", 1); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestLoadClipSynthetic(t *testing.T) {
+	clip, err := loadClip("", 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clip.Frames) != 100 {
+		t.Errorf("got %d frames", len(clip.Frames))
+	}
+}
+
+func TestLoadClipFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip.txt")
+	if err := os.WriteFile(path, []byte("0 I 10\n1 B 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clip, err := loadClip(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clip.Frames) != 2 || clip.Frames[0].Size != 10 {
+		t.Errorf("clip = %+v", clip.Frames)
+	}
+	if _, err := loadClip(filepath.Join(dir, "missing.txt"), 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

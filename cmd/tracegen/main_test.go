@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestDescribeTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip.txt")
+
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = 130
+	clip, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clip.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := describeTrace(path); err != nil {
+		t.Errorf("describeTrace: %v", err)
+	}
+	if err := describeTrace(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := describeTrace(bad); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Multiplex: admission control plus shared smoothing. An operator has one
+// link and wants to carry as many live streams as possible:
+//
+//  1. effective-bandwidth admission control (Chernoff bound) decides how
+//     many streams to admit for a target overflow probability;
+//  2. a shared smoothing buffer carries the admitted streams, and the
+//     measured loss comes in far below the bufferless bound;
+//  3. the same total resources split into private per-stream partitions
+//     lose much more — the statistical multiplexing gain.
+//
+// Run with: go run ./examples/multiplex
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/admission"
+	"repro/internal/drop"
+	"repro/internal/mux"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func main() {
+	const frames = 1200
+
+	// The operator knows the content class (news) and has one historical
+	// trace to train the admission test on.
+	train := demand(1, frames)
+	var mean float64
+	for _, x := range train {
+		mean += float64(x)
+	}
+	mean /= float64(len(train))
+
+	capacity := 6 * mean // link carries ~6 average streams
+	const eps = 0.05
+	k, err := admission.MaxStreams(train, capacity, eps, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("link capacity: %.0f KB/step (%.1f x one stream's mean)\n", capacity, capacity/mean)
+	fmt.Printf("admission control: admit %d streams at per-step overflow <= %.0f%%\n\n", k, 100*eps)
+
+	// Live traffic: K independent streams (fresh seeds — the training
+	// trace is NOT reused).
+	var streams []*stream.Stream
+	var vectors [][]int
+	overload := int(capacity/mean) + 1 // more average streams than the link can carry
+	for i := 0; i < overload; i++ {
+		gc := trace.DefaultGenConfig()
+		gc.Frames = frames
+		gc.Seed = int64(1000 + i)
+		clip, err := trace.Generate(gc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := trace.WholeFrameStream(clip, trace.PaperWeights())
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams = append(streams, st)
+		vectors = append(vectors, demand(int64(1000+i), frames))
+	}
+
+	// The Chernoff bound versus reality, bufferless, at the admitted count.
+	exp, err := admission.ChernoffExponent(train, k, capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := admission.MeasuredOverflow(vectors[:k], capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bufferless overflow at K=%d: Chernoff bound %.3f, measured %.3f\n\n", k, math.Exp(exp), measured)
+
+	// Carry the admitted load, and then deliberately overload past the
+	// link's mean capacity, with and without a shared smoothing buffer
+	// (4 max frames per stream either way).
+	fmt.Printf("%22s %14s %14s\n", "", "shared wloss", "partitioned")
+	for _, kk := range []int{k, overload} {
+		totalBuffer := kk * 4 * 120
+		shared, err := mux.Shared(streams[:kk], int(capacity), totalBuffer, drop.Greedy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		part, err := mux.Partitioned(streams[:kk], int(capacity), totalBuffer, drop.Greedy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("K=%d (admitted)", kk)
+		if kk > k {
+			label = fmt.Sprintf("K=%d (overloaded)", kk)
+		}
+		fmt.Printf("%22s %13.3f%% %13.3f%%\n", label, 100*shared.WeightedLoss(), 100*part.WeightedLoss())
+		if shared.WeightedLoss() > part.WeightedLoss()+1e-9 {
+			log.Fatal("no multiplexing gain — unexpected for independent streams")
+		}
+		if kk > k {
+			fmt.Println("\nper-stream weighted loss under the overloaded shared buffer:")
+			for i, m := range shared.PerStream {
+				fmt.Printf("  stream %d: %.3f%%\n", i, 100*m.WeightedLoss())
+			}
+		}
+	}
+
+	fmt.Println("\nAdmission control sizes the link conservatively; the shared")
+	fmt.Println("smoothing buffer absorbs what the bufferless bound must count as")
+	fmt.Println("lost, degrades gracefully under overload, and spreads the damage")
+	fmt.Println("evenly — while private partitions forfeit the multiplexing gain.")
+}
+
+// demand generates one clip's per-step demand vector.
+func demand(seed int64, frames int) []int {
+	gc := trace.DefaultGenConfig()
+	gc.Frames = frames
+	gc.Seed = seed
+	clip, err := trace.Generate(gc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([]int, len(clip.Frames))
+	for i, f := range clip.Frames {
+		out[i] = f.Size
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+// Quickstart: smooth a synthetic MPEG clip through a buffer of four max
+// frames, with the link 10% below the stream's average rate, and compare
+// the drop policies against the exact offline optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/offline"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. A video source: ~80 seconds of synthetic MPEG-1 calibrated to
+	//    the paper's clips (mean frame 38 KB, max 120 KB, I/P/B weights
+	//    12:8:1). One unit = 1 KB, one step = one frame time.
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = 2000
+	clip, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := trace.ByteSliceStream(clip, trace.PaperWeights())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Provision the system: link at 90% of the average rate (we WILL
+	//    lose data — the question is which data), buffer of 4 max frames,
+	//    and the smoothing delay from the B = R·D law.
+	R := int(0.9 * clip.AverageRate())
+	B := 4 * clip.MaxFrameSize()
+	fmt.Printf("clip: %d frames, avg %.1f KB/frame, peak %d KB\n",
+		len(clip.Frames), clip.AverageRate(), clip.MaxFrameSize())
+	fmt.Printf("link: %d KB/step (90%% of average) — loss is unavoidable\n", R)
+	fmt.Printf("buffer: %d KB  =>  smoothing delay D = %d steps (B = R*D)\n\n", B, core.DelayFor(B, R))
+
+	// 3. Run every drop policy.
+	fmt.Printf("%-10s %12s %14s\n", "policy", "byte loss", "weighted loss")
+	for _, f := range []drop.Factory{drop.TailDrop, drop.HeadDrop, drop.Greedy} {
+		s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %11.2f%% %13.2f%%\n", s.Algorithm[len("generic/"):],
+			100*s.ByteLoss(), 100*s.WeightedLoss())
+	}
+
+	// 4. And the exact offline optimum for comparison.
+	opt, err := offline.OptimalUnit(st, B, R)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := st.TotalWeight()
+	fmt.Printf("%-10s %11s %13.2f%%\n\n", "optimal", "-", 100*(total-opt.Benefit)/total)
+
+	fmt.Println("All policies lose the same ~10% of the BYTES (Theorem 3.5: with")
+	fmt.Println("B = R*D the byte count lost is optimal no matter what you drop).")
+	fmt.Println("The weighted loss differs enormously: greedy sheds cheap B-frame")
+	fmt.Println("data and keeps I/P frames, landing within a whisker of the")
+	fmt.Println("offline optimum — the paper's Section 5 story in one table.")
+}

@@ -1,0 +1,101 @@
+// Weighted dropping: when the link cannot carry everything, WHICH data you
+// drop decides the perceived quality. This example runs the same congested
+// session (rate at 85% of the average) with Tail-Drop and with the paper's
+// greedy value-aware policy, and breaks the losses down per MPEG frame
+// type. It also shows the competitive guarantee of Theorem 4.1 holding on
+// an adversarial instance.
+//
+// Run with: go run ./examples/weighted
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/competitive"
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = 1500
+	clip, err := trace.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := trace.ByteSliceStream(clip, trace.PaperWeights())
+	if err != nil {
+		log.Fatal(err)
+	}
+	R := int(0.85 * clip.AverageRate())
+	B := 6 * clip.MaxFrameSize()
+	fmt.Printf("congested session: R = %d KB/step (85%% of average), B = %d KB, D = %d steps\n\n",
+		R, B, core.DelayFor(B, R))
+
+	// Index slice IDs back to frame types for the loss breakdown.
+	types := sliceTypes(clip)
+
+	for _, f := range []drop.Factory{drop.TailDrop, drop.Greedy} {
+		s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lost := map[trace.FrameType]int{}
+		kept := map[trace.FrameType]int{}
+		for id, o := range s.Outcomes {
+			if o.Dropped() {
+				lost[types[id]] += st.Slice(id).Size
+			} else {
+				kept[types[id]] += st.Slice(id).Size
+			}
+		}
+		fmt.Printf("%s: byte loss %.2f%%, weighted loss %.2f%%\n",
+			s.Algorithm, 100*s.ByteLoss(), 100*s.WeightedLoss())
+		for _, ft := range []trace.FrameType{trace.I, trace.P, trace.B} {
+			total := lost[ft] + kept[ft]
+			if total == 0 {
+				continue
+			}
+			fmt.Printf("   %s-frame data lost: %6.2f%%  (%d of %d KB)\n",
+				ft, 100*float64(lost[ft])/float64(total), lost[ft], total)
+		}
+		if s.DroppedAt(sched.SiteClient) != 0 {
+			log.Fatal("unexpected client drops with lawful provisioning")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Tail-Drop guts whatever arrives during a burst — including")
+	fmt.Println("I-frames. Greedy concentrates ALL the damage on B-frames.")
+
+	// The guarantee: even on the adversarial instance of Theorem 4.7 the
+	// greedy policy keeps at least 1/4 of the optimal benefit (Thm 4.1).
+	const bb = 24
+	inst, err := competitive.GreedyLowerBoundInstance(bb, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ratio, online, opt, err := competitive.MeasureRatio(inst, bb, 1, drop.Greedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadversarial instance (Thm 4.7, B=%d, α=50): greedy %.0f vs optimal %.0f — ratio %.3f\n",
+		bb, online, opt, ratio)
+	fmt.Printf("prediction %.3f; Theorem 4.1 caps it at 4. The adversary gets close\n",
+		competitive.PredictedGreedyRatio(bb, 50))
+	fmt.Println("to 2, real traces stay near 1 (Fig. 2/3): greedy is near-optimal in practice.")
+}
+
+// sliceTypes maps each byte-slice ID to its frame's type.
+func sliceTypes(clip *trace.Clip) []trace.FrameType {
+	var out []trace.FrameType
+	for _, f := range clip.Frames {
+		for i := 0; i < f.Size; i++ {
+			out = append(out, f.Type)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/drop"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func clipStream(t *testing.T, frames int) *stream.Stream {
+	t.Helper()
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = frames
+	clip, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.WholeFrameStream(clip, trace.PaperWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Window: 0},
+		{Window: 4, Headroom: 0.5},
+		{Window: 4, HighWater: 1.5},
+		{Window: 4, Deadband: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewController(cfg, 1); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewController(Config{Window: 4}, 0); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestControllerRaisesUnderLoad(t *testing.T) {
+	ctl, err := NewController(Config{Window: 4, Headroom: 1.0, Deadband: 0.05}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 bytes/step arriving: after one window the reservation must jump.
+	var rate int
+	for i := 0; i < 4; i++ {
+		rate = ctl.Tick(40, 0, 100)
+	}
+	if rate < 40 {
+		t.Errorf("rate = %d after sustained 40/step, want >= 40", rate)
+	}
+	if ctl.Changes() != 1 {
+		t.Errorf("changes = %d, want 1", ctl.Changes())
+	}
+}
+
+func TestControllerDeadbandSuppressesJitter(t *testing.T) {
+	ctl, err := NewController(Config{Window: 2, Headroom: 1.0, Deadband: 0.5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals wobble between 9 and 11 per step: inside the 50% dead band.
+	for i := 0; i < 20; i++ {
+		ctl.Tick(9+2*(i%2), 0, 100)
+	}
+	if ctl.Changes() != 0 {
+		t.Errorf("dead band leaked: %d changes", ctl.Changes())
+	}
+}
+
+func TestControllerHighWaterBoost(t *testing.T) {
+	ctl, err := NewController(Config{Window: 2, Headroom: 1.0, HighWater: 0.5, Deadband: 0.01}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Tick(5, 90, 100)
+	rate := ctl.Tick(5, 90, 100) // window boundary, occupancy far above half
+	if rate <= 5 {
+		t.Errorf("high-water boost missing: rate %d", rate)
+	}
+}
+
+func TestRunLosslessWithHeadroom(t *testing.T) {
+	st := clipStream(t, 600)
+	res, err := Run(st, 8*120, Config{Window: 12, Headroom: 1.3}, drop.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightedLoss > 0.02 {
+		t.Errorf("adaptive run lost %.2f%% despite headroom", 100*res.WeightedLoss)
+	}
+	if res.Renegotiations == 0 {
+		t.Error("no renegotiations on a bursty clip")
+	}
+	if res.MeanReserved <= 0 || res.PeakRate <= 0 {
+		t.Errorf("degenerate reservation stats: %+v", res)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1+1e-9 {
+		t.Errorf("utilization = %v", res.Utilization)
+	}
+	// The controller should track the stream: mean reservation within a
+	// factor ~2 of the average rate.
+	avg := float64(st.TotalBytes()) / float64(st.Horizon()+1)
+	if res.MeanReserved > 2*avg {
+		t.Errorf("mean reserved %v far above average %v", res.MeanReserved, avg)
+	}
+}
+
+func TestRunFewerRenegotiationsWithLargerWindow(t *testing.T) {
+	st := clipStream(t, 800)
+	small, err := Run(st, 6*120, Config{Window: 4, Headroom: 1.2}, drop.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(st, 6*120, Config{Window: 64, Headroom: 1.2}, drop.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Renegotiations >= small.Renegotiations {
+		t.Errorf("window 64 renegotiated %d times, window 4 %d times",
+			big.Renegotiations, small.Renegotiations)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	st := stream.NewBuilder().Add(0, 1, 1).MustBuild()
+	if _, err := Run(st, 0, Config{Window: 4}, drop.Greedy); err == nil {
+		t.Error("buffer 0 accepted")
+	}
+	if _, err := Run(st, 4, Config{Window: 0}, drop.Greedy); err == nil {
+		t.Error("window 0 accepted")
+	}
+	// Nil policy defaults to greedy.
+	if _, err := Run(st, 4, Config{Window: 4}, nil); err != nil {
+		t.Errorf("nil policy rejected: %v", err)
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	st := stream.NewBuilder().MustBuild()
+	res, err := Run(st, 4, Config{Window: 4}, drop.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit != 0 || res.WeightedLoss != 0 {
+		t.Errorf("empty run = %+v", res)
+	}
+}

@@ -1,0 +1,37 @@
+package adaptive_test
+
+import (
+	"fmt"
+
+	"repro/internal/adaptive"
+	"repro/internal/drop"
+	"repro/internal/stream"
+)
+
+// Example drives the RCBR controller over a stream whose rate doubles
+// halfway: the reservation tracks the change with a handful of
+// renegotiations instead of a peak-rate reservation.
+func Example() {
+	b := stream.NewBuilder()
+	for t := 0; t < 64; t++ {
+		size := 4
+		if t >= 32 {
+			size = 8 // the scene gets busy
+		}
+		b.Add(t, size, float64(size))
+	}
+	st := b.MustBuild()
+
+	res, err := adaptive.Run(st, 32, adaptive.Config{Window: 8, Headroom: 1.25}, drop.Greedy)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("renegotiations: %d\n", res.Renegotiations)
+	fmt.Printf("peak reservation: %d\n", res.PeakRate)
+	fmt.Printf("lossless: %v\n", res.WeightedLoss == 0)
+	// Output:
+	// renegotiations: 3
+	// peak reservation: 11
+	// lossless: true
+}

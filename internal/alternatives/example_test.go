@@ -1,0 +1,34 @@
+package alternatives_test
+
+import (
+	"fmt"
+
+	"repro/internal/alternatives"
+	"repro/internal/stream"
+)
+
+// Example compares the intro's approaches on one bursty stream: bursts of
+// 12 bytes every 4 steps (mean 3, peak 12).
+func Example() {
+	b := stream.NewBuilder()
+	for t := 0; t < 64; t += 4 {
+		b.Add(t, 12, 12)
+	}
+	st := b.MustBuild()
+
+	fmt.Printf("peak reservation: rate %d, zero loss\n", alternatives.PeakRate(st))
+
+	tr, _ := alternatives.Truncation(st, 3) // mean-rate link, no buffer
+	fmt.Printf("truncation at mean rate: %.0f%% lost\n", 100*tr.ByteLoss)
+
+	plan, _ := alternatives.Renegotiate(st, 4)
+	fmt.Printf("rcbr window 4: peak %d, %d renegotiations\n", plan.Peak, plan.Renegotiations)
+
+	r, _ := alternatives.MinRateForLoss(st, 4, 0) // lossless smoothing, delay 4
+	fmt.Printf("smoothing delay 4: rate %d, zero loss\n", r)
+	// Output:
+	// peak reservation: rate 12, zero loss
+	// truncation at mean rate: 100% lost
+	// rcbr window 4: peak 3, 0 renegotiations
+	// smoothing delay 4: rate 3, zero loss
+}

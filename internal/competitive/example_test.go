@@ -1,0 +1,34 @@
+package competitive_test
+
+import (
+	"fmt"
+
+	"repro/internal/competitive"
+	"repro/internal/drop"
+)
+
+// ExampleMeasureRatio measures the greedy policy's competitive ratio on the
+// Theorem 4.7 adversarial instance and compares it with the closed form.
+func ExampleMeasureRatio() {
+	const (
+		B     = 16
+		alpha = 8.0
+	)
+	st, _ := competitive.GreedyLowerBoundInstance(B, alpha)
+	ratio, online, opt, _ := competitive.MeasureRatio(st, B, 1, drop.Greedy)
+	fmt.Printf("online %.0f, optimal %.0f\n", online, opt)
+	fmt.Printf("measured ratio equals prediction: %v\n",
+		ratio == competitive.PredictedGreedyRatio(B, alpha))
+	// Output:
+	// online 153, optimal 265
+	// measured ratio equals prediction: true
+}
+
+// ExamplePredictedOnlineLB evaluates the Theorem 4.8 constants.
+func ExamplePredictedOnlineLB() {
+	fmt.Printf("alpha=2:     %.4f\n", competitive.PredictedOnlineLB(2))
+	fmt.Printf("alpha=4.015: %.4f\n", competitive.PredictedOnlineLB(4.015))
+	// Output:
+	// alpha=2:     1.2287
+	// alpha=4.015: 1.2820
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// Client is the receiving side of the generic algorithm (Section 3.1.2):
+// it buffers bytes delivered by the link and plays the slices of frame t at
+// step t+P+D. A slice is played only if all its bytes have arrived by its
+// play time; otherwise it is discarded (it missed its deadline). If the
+// client buffer overflows, buffered slices with the latest deadlines are
+// discarded until the buffer fits.
+//
+// With B = R·D and ClientBuffer = B the paper proves neither case ever
+// happens (Lemmas 3.3 and 3.4); the client implementation still handles
+// them so that mis-provisioned configurations (Section 3.3) can be studied.
+//
+// The paper's client needs no clock synchronization: it starts a timer of D
+// steps at the first arrival. This simulation uses the equivalent absolute
+// form PT(s) = AT(s)+P+D, which is what the timer realizes on a 0-jitter
+// link.
+type Client struct {
+	buffer    int
+	delay     int
+	linkDelay int
+	st        *stream.Stream
+
+	held    map[int]int  // slice ID -> bytes currently buffered
+	ignored map[int]bool // slice ID -> discard any further bytes
+	occ     int
+}
+
+// ClientStepResult reports what the client did in one step.
+type ClientStepResult struct {
+	// Played lists slice IDs played out this step (all bytes present).
+	Played []int
+	// Dropped lists slice IDs discarded this step, either because their
+	// play time passed without full delivery or because the client
+	// buffer overflowed. It may include slices the caller already knows
+	// were dropped upstream (the client cannot distinguish "never sent"
+	// from "still in transit"); callers should ignore those.
+	Dropped []int
+	// Occupancy is |Bc(t)| at the end of the step.
+	Occupancy int
+}
+
+// NewClient returns a client with the given buffer capacity, smoothing
+// delay D and link delay P for the given stream. The stream provides the
+// frame map (which slices belong to which play step); a wire protocol would
+// carry the same information in headers.
+func NewClient(buffer, delay, linkDelay int, st *stream.Stream) *Client {
+	return &Client{
+		buffer:    buffer,
+		delay:     delay,
+		linkDelay: linkDelay,
+		st:        st,
+		held:      make(map[int]int),
+		ignored:   make(map[int]bool),
+	}
+}
+
+// Occupancy returns the bytes currently buffered.
+func (cl *Client) Occupancy() int { return cl.occ }
+
+// Step executes one time step t: accept delivered batches, play the frame
+// scheduled for t, then resolve any buffer overflow.
+func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
+	var res ClientStepResult
+
+	for _, b := range delivered {
+		if cl.ignored[b.SliceID] {
+			continue
+		}
+		cl.held[b.SliceID] += b.Bytes
+		cl.occ += b.Bytes
+	}
+
+	// Play frame t-P-D: whole slices only; incomplete ones missed their
+	// deadline and are discarded.
+	for _, sl := range cl.st.ArrivalsAt(t - cl.linkDelay - cl.delay) {
+		if cl.ignored[sl.ID] {
+			continue
+		}
+		if cl.held[sl.ID] == sl.Size {
+			res.Played = append(res.Played, sl.ID)
+			cl.occ -= sl.Size
+			delete(cl.held, sl.ID)
+			cl.ignored[sl.ID] = true
+			continue
+		}
+		res.Dropped = append(res.Dropped, sl.ID)
+		cl.occ -= cl.held[sl.ID]
+		delete(cl.held, sl.ID)
+		cl.ignored[sl.ID] = true
+	}
+
+	// Overflow: discard buffered slices, latest deadline first, until the
+	// buffer fits. Deterministic tie-break by higher slice ID.
+	for cl.occ > cl.buffer {
+		victim := cl.latestDeadlineHeld()
+		if victim < 0 {
+			break
+		}
+		res.Dropped = append(res.Dropped, victim)
+		cl.occ -= cl.held[victim]
+		delete(cl.held, victim)
+		cl.ignored[victim] = true
+	}
+
+	res.Occupancy = cl.occ
+	return res
+}
+
+// latestDeadlineHeld returns the buffered slice with the largest play time
+// (ties to the largest ID), or -1 if nothing is buffered. Linear scan:
+// overflow is rare and the buffer holds at most Bc bytes.
+func (cl *Client) latestDeadlineHeld() int {
+	ids := make([]int, 0, len(cl.held))
+	for id := range cl.held {
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return -1
+	}
+	sort.Ints(ids)
+	best := -1
+	bestArrival := -1
+	for _, id := range ids {
+		a := cl.st.Slice(id).Arrival
+		if a > bestArrival || (a == bestArrival && id > best) {
+			best, bestArrival = id, a
+		}
+	}
+	return best
+}

@@ -1,0 +1,289 @@
+// Package core implements the paper's primary contribution: the generic
+// real-time lossy smoothing algorithm of Section 3 and the B = R·D
+// provisioning law around it.
+//
+// The system (Fig. 1 of the paper) is a source feeding a server buffer,
+// drained FIFO at up to R bytes per step over a lossless constant-delay
+// link into a client buffer, which plays each frame exactly P+D steps after
+// it was generated:
+//
+//   - the server transmits whenever its buffer is non-empty, in FIFO order,
+//     at the maximal possible rate (Eq. 2);
+//   - on overflow it discards whole slices chosen by a pluggable drop.Policy
+//     until occupancy is back within B (Eq. 3); a slice whose transmission
+//     has begun is never preempted;
+//   - the client sets a timer of D steps when the first slice arrives and
+//     thereafter plays frame t at step t+P+D (Section 3.1.2).
+//
+// Theorem 3.5: with unit-size slices and B = R·D this schedule drops the
+// minimum possible number of slices among all real-time schedules with the
+// same buffer and rate; Theorem 3.9 bounds the degradation for variable
+// slice sizes by (B−Lmax+1)/B.
+//
+// Server and Client are usable step-by-step (the online setting), and
+// Simulate wires them together over a recorded stream, returning a complete
+// sched.Schedule.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/drop"
+	"repro/internal/sched"
+	"repro/internal/stream"
+)
+
+// DelayFor returns the smoothing delay mandated by the B = R·D law for a
+// given buffer size and link rate, rounding up when R does not divide B
+// (Lemma 3.2's bound is ceil(B/R)).
+func DelayFor(buffer, rate int) int {
+	if rate <= 0 {
+		return 0
+	}
+	return (buffer + rate - 1) / rate
+}
+
+// BufferFor returns the buffer size mandated by the B = R·D law for a given
+// rate and delay.
+func BufferFor(rate, delay int) int { return rate * delay }
+
+// RateFor returns the link rate mandated by the B = R·D law for a given
+// buffer and delay, rounding up.
+func RateFor(buffer, delay int) int {
+	if delay <= 0 {
+		return buffer
+	}
+	return (buffer + delay - 1) / delay
+}
+
+// Config parameterizes a smoothing run.
+type Config struct {
+	// ServerBuffer is B_s in bytes. Required.
+	ServerBuffer int
+	// ClientBuffer is B_c in bytes. If zero it defaults to ServerBuffer,
+	// the symmetric allocation the paper shows is exactly right when
+	// B = R·D.
+	ClientBuffer int
+	// Rate is R, the link rate in bytes per step. Required.
+	Rate int
+	// Delay is D, the smoothing delay. If zero or negative, it defaults
+	// to DelayFor(ServerBuffer, Rate) — the optimal choice by the B=R·D
+	// law. (A degenerate zero smoothing delay cannot be requested; it
+	// would make every slice not sent in its arrival step late.)
+	Delay int
+	// LinkDelay is P, the constant propagation delay of the link.
+	LinkDelay int
+	// Policy builds the server's drop policy. Defaults to drop.TailDrop.
+	Policy drop.Factory
+	// ServerDropsLate makes the server proactively discard slices whose
+	// playback deadline can no longer be met instead of transmitting them
+	// uselessly. The paper's generic algorithm does not do this (it never
+	// needs to when D >= B/R); enabling it is an ablation for
+	// under-provisioned delays (Section 3.3, first observation).
+	ServerDropsLate bool
+}
+
+// withDefaults resolves defaulted fields and validates the configuration.
+func (c Config) withDefaults() (Config, error) {
+	if c.ServerBuffer <= 0 {
+		return c, fmt.Errorf("core: server buffer must be positive, got %d", c.ServerBuffer)
+	}
+	if c.Rate <= 0 {
+		return c, fmt.Errorf("core: rate must be positive, got %d", c.Rate)
+	}
+	if c.Delay <= 0 {
+		c.Delay = DelayFor(c.ServerBuffer, c.Rate)
+	}
+	if c.ClientBuffer == 0 {
+		// Lemma 3.4: the client holds at most the bytes the link delivers
+		// in a window of D steps, i.e. R·D. When R divides B this equals
+		// B (the paper's symmetric allocation); with the rounded-up delay
+		// it can exceed B slightly.
+		c.ClientBuffer = c.ServerBuffer
+		if law := c.Rate * c.Delay; law > c.ClientBuffer {
+			c.ClientBuffer = law
+		}
+	}
+	if c.ClientBuffer < 0 {
+		return c, fmt.Errorf("core: client buffer must be positive, got %d", c.ClientBuffer)
+	}
+	if c.LinkDelay < 0 {
+		return c, fmt.Errorf("core: link delay must be non-negative, got %d", c.LinkDelay)
+	}
+	if c.Policy == nil {
+		c.Policy = drop.TailDrop
+	}
+	return c, nil
+}
+
+// Batch is a run of consecutive bytes of one slice entering (or leaving)
+// the link within a single step.
+type Batch struct {
+	SliceID int
+	Bytes   int
+}
+
+// NewComponents resolves the configuration and returns a fresh schedule
+// skeleton (all outcomes unresolved, Params filled with the resolved
+// values), server and client, for callers that drive their own step loop
+// (e.g. package linksim, which puts a jittery link and a regulator between
+// server and client).
+func NewComponents(st *stream.Stream, cfg Config) (*sched.Schedule, *Server, *Client, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	policy := cfg.Policy()
+	out := &sched.Schedule{
+		Stream: st,
+		Params: sched.Params{
+			ServerBuffer: cfg.ServerBuffer,
+			ClientBuffer: cfg.ClientBuffer,
+			Rate:         cfg.Rate,
+			Delay:        cfg.Delay,
+			LinkDelay:    cfg.LinkDelay,
+		},
+		Outcomes:  make([]sched.Outcome, st.Len()),
+		Algorithm: "generic/" + policy.Name(),
+	}
+	for i := range out.Outcomes {
+		out.Outcomes[i] = sched.Outcome{
+			SendStart: sched.None, SendEnd: sched.None,
+			DropTime: sched.None, PlayTime: sched.None,
+		}
+	}
+	server := NewServer(cfg.ServerBuffer, cfg.Rate, policy, ServerOptions{
+		DropLate:  cfg.ServerDropsLate,
+		Deadline:  cfg.Delay,
+		LinkDelay: cfg.LinkDelay,
+	})
+	client := NewClient(cfg.ClientBuffer, cfg.Delay, cfg.LinkDelay, st)
+	return out, server, client, nil
+}
+
+// Simulate runs the generic algorithm for the whole stream and returns the
+// resulting schedule. The simulation is deterministic given the config (and
+// the policy's seed, for randomized policies). The returned schedule always
+// passes sched.Validate; tests enforce this.
+func Simulate(st *stream.Stream, cfg Config) (*sched.Schedule, error) {
+	out, server, client, err := NewComponents(st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfgDelay := out.Params.Delay
+	cfgLinkDelay := out.Params.LinkDelay
+	link := newPipe(cfgLinkDelay)
+
+	resolved := 0
+	// pendingLate tracks slices the client has given up on (their play
+	// time passed) while their bytes are still in the server buffer; they
+	// are resolved when those bytes finally leave the server, so that the
+	// recorded occupancies stay exact.
+	pendingLate := make(map[int]int)
+	for t := 0; t <= st.Horizon() || resolved < st.Len() || !server.Empty() || !link.empty(); t++ {
+		res := server.Step(t, st.ArrivalsAt(t))
+		for _, d := range res.Dropped {
+			// A slice the client had already declared late may now be
+			// physically discarded by the server (proactive late drop);
+			// the server is the drop site — that is where the bytes died.
+			delete(pendingLate, d.ID)
+			if out.Outcomes[d.ID].DropTime == sched.None {
+				out.Outcomes[d.ID].DropTime = t
+				out.Outcomes[d.ID].DropSite = sched.SiteServer
+				resolved++
+			}
+		}
+		for _, b := range res.Sent {
+			o := &out.Outcomes[b.SliceID]
+			if o.SendStart == sched.None {
+				o.SendStart = t
+			}
+		}
+		for _, id := range res.Finished {
+			out.Outcomes[id].SendEnd = t
+			if lateAt, ok := pendingLate[id]; ok {
+				// The slice's bytes have fully left the server; the client
+				// discarded (or will discard) them on arrival. It counts
+				// as lost at the client from its play time on.
+				delete(pendingLate, id)
+				out.Outcomes[id].DropTime = lateAt
+				out.Outcomes[id].DropSite = sched.SiteClient
+				resolved++
+			}
+		}
+		link.push(res.Sent)
+
+		cres := client.Step(t, link.pop())
+		for _, id := range cres.Played {
+			out.Outcomes[id].PlayTime = t
+			resolved++
+		}
+		for _, id := range cres.Dropped {
+			// The client reports every scheduled slice it could not play;
+			// slices the server already dropped were resolved upstream,
+			// and slices still (partly) at the server are resolved when
+			// their bytes leave it.
+			if out.Outcomes[id].DropTime != sched.None {
+				continue
+			}
+			if server.Contains(id) {
+				pendingLate[id] = t
+				continue
+			}
+			out.Outcomes[id].DropTime = t
+			out.Outcomes[id].DropSite = sched.SiteClient
+			resolved++
+		}
+
+		out.SentPerStep = append(out.SentPerStep, res.SentBytes)
+		out.ServerOcc = append(out.ServerOcc, res.Occupancy)
+		out.ClientOcc = append(out.ClientOcc, cres.Occupancy)
+
+		if t > st.Horizon()+cfgLinkDelay+cfgDelay+totalSteps(st, out.Params.Rate)+8 {
+			// Defensive: the loop provably terminates (the server sends R
+			// bytes per non-empty step), so this indicates a bug.
+			return nil, fmt.Errorf("core: simulation failed to terminate by step %d", t)
+		}
+	}
+	return out, nil
+}
+
+// totalSteps bounds how many steps draining the whole stream can take.
+func totalSteps(st *stream.Stream, rate int) int {
+	return st.TotalBytes()/rate + 1
+}
+
+// pipe models the lossless FIFO link: batches pushed at step t emerge at
+// step t+P. It is a fixed-size ring over the propagation delay.
+type pipe struct {
+	ring     [][]Batch
+	head     int
+	inFlight int
+}
+
+func newPipe(delay int) *pipe {
+	return &pipe{ring: make([][]Batch, delay+1)}
+}
+
+// push inserts the batches sent this step; they will pop after the
+// propagation delay.
+func (p *pipe) push(batches []Batch) {
+	tail := (p.head + len(p.ring) - 1) % len(p.ring)
+	p.ring[tail] = append(p.ring[tail], batches...)
+	for _, b := range batches {
+		p.inFlight += b.Bytes
+	}
+}
+
+// pop removes and returns the batches arriving this step.
+func (p *pipe) pop() []Batch {
+	out := p.ring[p.head]
+	p.ring[p.head] = nil
+	p.head = (p.head + 1) % len(p.ring)
+	for _, b := range out {
+		p.inFlight -= b.Bytes
+	}
+	return out
+}
+
+func (p *pipe) empty() bool { return p.inFlight == 0 }

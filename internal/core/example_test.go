@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/stream"
+)
+
+// Example demonstrates the B = R·D law on a bursty stream: a burst of
+// exactly B unit slices is absorbed without loss, while anything beyond it
+// must be dropped.
+func Example() {
+	b := stream.NewBuilder()
+	for i := 0; i < 10; i++ {
+		b.Add(0, 1, 1) // ten unit slices in one burst
+	}
+	st := b.MustBuild()
+
+	// R = 2 and B = 8: two slices leave in step 0, eight fit the buffer.
+	s, _ := core.Simulate(st, core.Config{ServerBuffer: 8, Rate: 2})
+	fmt.Printf("B=8: played %d of 10, delay D=%d\n", s.Throughput(), s.Params.Delay)
+
+	// A smaller buffer loses the excess.
+	s, _ = core.Simulate(st, core.Config{ServerBuffer: 4, Rate: 2})
+	fmt.Printf("B=4: played %d of 10, delay D=%d\n", s.Throughput(), s.Params.Delay)
+
+	// Output:
+	// B=8: played 10 of 10, delay D=4
+	// B=4: played 6 of 10, delay D=2
+}
+
+// ExampleSimulate_weighted shows the greedy policy preferring valuable
+// slices when the buffer overflows.
+func ExampleSimulate_weighted() {
+	b := stream.NewBuilder()
+	b.Add(0, 1, 1).Add(0, 1, 1).Add(0, 1, 1) // cheap
+	b.Add(1, 1, 9).Add(1, 1, 9).Add(1, 1, 9) // valuable, one step later
+	st := b.MustBuild()
+
+	cfg := core.Config{ServerBuffer: 3, Rate: 1}
+	cfg.Policy = drop.TailDrop
+	td, _ := core.Simulate(st, cfg)
+	cfg.Policy = drop.Greedy
+	gr, _ := core.Simulate(st, cfg)
+	fmt.Printf("taildrop benefit: %v\n", td.Benefit())
+	fmt.Printf("greedy benefit:   %v\n", gr.Benefit())
+
+	// Output:
+	// taildrop benefit: 21
+	// greedy benefit:   29
+}
+
+// ExampleDelayFor shows the provisioning helpers of the B = R·D law.
+func ExampleDelayFor() {
+	fmt.Println(core.DelayFor(480, 40)) // buffer and rate given -> delay
+	fmt.Println(core.BufferFor(40, 12)) // rate and delay given -> buffer
+	fmt.Println(core.RateFor(480, 12))  // buffer and delay given -> rate
+	// Output:
+	// 12
+	// 480
+	// 40
+}

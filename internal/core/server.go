@@ -1,0 +1,231 @@
+package core
+
+import (
+	"repro/internal/drop"
+	"repro/internal/stream"
+)
+
+// ServerOptions tunes server behaviour beyond the paper's generic algorithm.
+type ServerOptions struct {
+	// DropLate enables proactive discarding of slices whose playback
+	// deadline can no longer be met (arrival + Deadline < now). The
+	// paper's algorithm never does this; with D >= B/R it never needs to.
+	DropLate bool
+	// Deadline is D, used only when DropLate is set.
+	Deadline int
+	// LinkDelay is P; retained for documentation/symmetry (the deadline
+	// test at the server is on send time, which is independent of P).
+	LinkDelay int
+}
+
+// Server is the sending side of the generic algorithm: a FIFO buffer of
+// capacity B drained at up to R bytes per step, discarding whole slices
+// chosen by a drop.Policy on overflow, never preempting a slice whose
+// transmission has begun. It is driven step-by-step, so it can be used both
+// by the offline Simulate driver and by online/real-time transports.
+type Server struct {
+	buffer int
+	rate   int
+	policy drop.Policy
+	opts   ServerOptions
+
+	queue []serverEntry
+	head  int
+	pos   map[int]int // slice ID -> index into queue
+	occ   int         // bytes currently stored
+}
+
+type serverEntry struct {
+	s         stream.Slice
+	remaining int
+	started   bool
+	dropped   bool
+}
+
+// ServerStepResult reports what the server did in one step.
+type ServerStepResult struct {
+	// Sent lists byte batches submitted to the link this step, in FIFO
+	// order. Batches of distinct slices never interleave.
+	Sent []Batch
+	// SentBytes is the total size of Sent.
+	SentBytes int
+	// Finished lists slice IDs whose last byte was sent this step.
+	Finished []int
+	// Dropped lists slices discarded this step (overflow, oversize, or
+	// proactive late drop).
+	Dropped []stream.Slice
+	// Occupancy is |Bs(t)|, the buffer occupancy at the end of the step.
+	Occupancy int
+}
+
+// NewServer returns a server with the given buffer capacity (bytes), link
+// rate (bytes/step) and drop policy. The policy must be fresh (not shared
+// with another server).
+func NewServer(buffer, rate int, policy drop.Policy, opts ServerOptions) *Server {
+	return &Server{
+		buffer: buffer,
+		rate:   rate,
+		policy: policy,
+		opts:   opts,
+		pos:    make(map[int]int),
+	}
+}
+
+// Occupancy returns the bytes currently stored.
+func (sv *Server) Occupancy() int { return sv.occ }
+
+// Rate returns the current drain rate.
+func (sv *Server) Rate() int { return sv.rate }
+
+// SetRate changes the drain rate from the next step on. It supports
+// renegotiated-CBR experiments (package adaptive); the paper's model keeps
+// the rate constant. Non-positive rates are ignored.
+func (sv *Server) SetRate(rate int) {
+	if rate > 0 {
+		sv.rate = rate
+	}
+}
+
+// Contains reports whether the slice still has unsent bytes stored in the
+// server buffer.
+func (sv *Server) Contains(id int) bool {
+	i, ok := sv.pos[id]
+	return ok && !sv.queue[i].dropped && sv.queue[i].remaining > 0
+}
+
+// Empty reports whether the buffer holds no bytes.
+func (sv *Server) Empty() bool { return sv.occ == 0 }
+
+// Step executes one time step t: accept arrivals, transmit up to R bytes in
+// FIFO order, then discard slices per the policy until occupancy is within
+// the buffer (Eqs. 2–3 of the paper, with whole-slice drops).
+func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
+	var res ServerStepResult
+
+	if sv.opts.DropLate {
+		sv.dropLate(t, &res)
+	}
+
+	// Arrivals join the buffer; a slice larger than the whole buffer can
+	// never be stored and is discarded on the spot.
+	for _, sl := range arrivals {
+		if sl.Size > sv.buffer {
+			res.Dropped = append(res.Dropped, sl)
+			continue
+		}
+		sv.pos[sl.ID] = len(sv.queue)
+		sv.queue = append(sv.queue, serverEntry{s: sl, remaining: sl.Size})
+		sv.occ += sl.Size
+		sv.policy.Add(sl)
+	}
+
+	// Proactive policies may shed slices before transmission admits a new
+	// slice to the unpreemptable head of the queue (Section 6's open
+	// problem; see drop.EarlyDropper).
+	if ed, ok := sv.policy.(drop.EarlyDropper); ok {
+		for {
+			victim, more := ed.EarlyVictim(sv.occ, sv.buffer)
+			if !more {
+				break
+			}
+			sv.removeByID(victim.ID)
+			res.Dropped = append(res.Dropped, victim)
+		}
+	}
+
+	// Transmit: |S(t)| = min(R, |Bs(t-1)| + |A(t)|), FIFO, no preemption.
+	budget := sv.rate
+	for budget > 0 && sv.head < len(sv.queue) {
+		e := &sv.queue[sv.head]
+		if e.dropped {
+			sv.advanceHead()
+			continue
+		}
+		if !e.started {
+			e.started = true
+			// The slice has commenced transmission: it is no longer
+			// droppable.
+			sv.policy.Remove(e.s.ID)
+		}
+		n := e.remaining
+		if n > budget {
+			n = budget
+		}
+		e.remaining -= n
+		budget -= n
+		sv.occ -= n
+		res.Sent = append(res.Sent, Batch{SliceID: e.s.ID, Bytes: n})
+		res.SentBytes += n
+		if e.remaining == 0 {
+			res.Finished = append(res.Finished, e.s.ID)
+			sv.advanceHead()
+		}
+	}
+
+	// Overflow: discard whole slices until occupancy fits (Eq. 3). The
+	// partially-transmitted head slice is exempt; its residue is at most
+	// Lmax-1 <= B-1 bytes, so the loop always terminates within capacity
+	// as long as every stored slice fits the buffer (guaranteed above).
+	for sv.occ > sv.buffer {
+		victim, ok := sv.policy.Victim()
+		if !ok {
+			break // only the in-transmission residue remains
+		}
+		sv.removeByID(victim.ID)
+		res.Dropped = append(res.Dropped, victim)
+	}
+
+	res.Occupancy = sv.occ
+	return res
+}
+
+// dropLate proactively discards queued, not-yet-started slices whose
+// deadline (arrival + D) has already passed.
+func (sv *Server) dropLate(t int, res *ServerStepResult) {
+	for i := sv.head; i < len(sv.queue); i++ {
+		e := &sv.queue[i]
+		if e.dropped || e.started {
+			continue
+		}
+		if e.s.Arrival+sv.opts.Deadline < t {
+			sv.policy.Remove(e.s.ID)
+			sv.removeByID(e.s.ID)
+			res.Dropped = append(res.Dropped, e.s)
+		}
+	}
+}
+
+// removeByID marks the slice dropped and releases its bytes.
+func (sv *Server) removeByID(id int) {
+	i, ok := sv.pos[id]
+	if !ok {
+		return
+	}
+	e := &sv.queue[i]
+	if e.dropped {
+		return
+	}
+	e.dropped = true
+	sv.occ -= e.remaining
+	delete(sv.pos, id)
+}
+
+// advanceHead moves past the head entry and compacts the queue when more
+// than half of it is dead, keeping memory proportional to live entries.
+func (sv *Server) advanceHead() {
+	if i, ok := sv.pos[sv.queue[sv.head].s.ID]; ok && i == sv.head {
+		delete(sv.pos, sv.queue[sv.head].s.ID)
+	}
+	sv.head++
+	if sv.head > 64 && sv.head > len(sv.queue)/2 {
+		live := sv.queue[sv.head:]
+		copy(sv.queue, live)
+		sv.queue = sv.queue[:len(live)]
+		sv.head = 0
+		for i := range sv.queue {
+			if !sv.queue[i].dropped {
+				sv.pos[sv.queue[i].s.ID] = i
+			}
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package drop implements the slice-discard policies used by the server of
+// the generic smoothing algorithm. The generic algorithm (Section 3 of the
+// paper) intentionally under-specifies which slices to drop on overflow;
+// this package supplies the choices studied in the paper:
+//
+//   - TailDrop: discard the most recently arrived slices first ("slices from
+//     frame i are discarded" on an overflow at time i) — the FIFO/Tail-Drop
+//     baseline of Section 5;
+//   - Greedy: discard the slices with the lowest byte value w(s)/|s| first —
+//     the 4-competitive algorithm of Section 4.1;
+//   - HeadDrop: discard the oldest droppable slices first;
+//   - Random: discard uniformly random droppable slices (deterministic seed).
+//
+// A policy tracks the set of "droppable" slices currently in the server
+// buffer: slices that have not yet started transmission (no preemption) and
+// have not been dropped. The simulator notifies the policy as slices enter
+// the buffer, start transmission, or finish; when an overflow occurs it
+// repeatedly asks for a victim until the buffer fits.
+package drop
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Policy selects victims on server-buffer overflow. Implementations keep an
+// internal index of droppable slices; all methods are called from a single
+// goroutine by the simulator.
+type Policy interface {
+	// Name returns a short human-readable policy name.
+	Name() string
+	// Add registers a slice that has entered the server buffer and is
+	// droppable.
+	Add(s stream.Slice)
+	// Remove unregisters a slice that left the droppable set without
+	// being chosen as a victim: it either started transmission or was
+	// fully sent within the step it arrived. Removing an unknown or
+	// already-removed ID is a no-op.
+	Remove(id int)
+	// Victim removes and returns the next slice to drop. ok is false if
+	// no droppable slice remains.
+	Victim() (s stream.Slice, ok bool)
+	// Len returns the number of droppable slices currently registered.
+	Len() int
+	// Reset clears all state so the policy can be reused for a new run.
+	Reset()
+}
+
+// Factory builds a fresh Policy instance. Simulations take a Factory so
+// that concurrent or repeated runs never share mutable policy state.
+type Factory func() Policy
+
+// lazySet tracks membership with O(1) removal for the lazy-deletion
+// structures below.
+type lazySet struct {
+	present map[int]stream.Slice
+}
+
+func newLazySet() lazySet { return lazySet{present: make(map[int]stream.Slice)} }
+
+func (l *lazySet) add(s stream.Slice) { l.present[s.ID] = s }
+func (l *lazySet) remove(id int)      { delete(l.present, id) }
+func (l *lazySet) len() int           { return len(l.present) }
+func (l *lazySet) reset()             { l.present = make(map[int]stream.Slice) }
+func (l *lazySet) get(id int) (stream.Slice, bool) {
+	s, ok := l.present[id]
+	return s, ok
+}
+
+// ---------------------------------------------------------------------------
+// TailDrop
+// ---------------------------------------------------------------------------
+
+// tailDrop drops the newest slice first. Because the simulator adds slices
+// in arrival order, a stack with lazy deletion gives O(1) amortized victims.
+type tailDrop struct {
+	stack []int
+	set   lazySet
+}
+
+// NewTailDrop returns a policy that discards the most recently arrived
+// droppable slice first.
+func NewTailDrop() Policy { return &tailDrop{set: newLazySet()} }
+
+// TailDrop is the Factory for NewTailDrop.
+func TailDrop() Policy { return NewTailDrop() }
+
+func (p *tailDrop) Name() string { return "taildrop" }
+
+func (p *tailDrop) Add(s stream.Slice) {
+	p.set.add(s)
+	p.stack = append(p.stack, s.ID)
+}
+
+func (p *tailDrop) Remove(id int) { p.set.remove(id) }
+
+func (p *tailDrop) Victim() (stream.Slice, bool) {
+	for len(p.stack) > 0 {
+		id := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		if s, ok := p.set.get(id); ok {
+			p.set.remove(id)
+			return s, true
+		}
+	}
+	return stream.Slice{}, false
+}
+
+func (p *tailDrop) Len() int { return p.set.len() }
+
+func (p *tailDrop) Reset() {
+	p.stack = p.stack[:0]
+	p.set.reset()
+}
+
+// ---------------------------------------------------------------------------
+// HeadDrop
+// ---------------------------------------------------------------------------
+
+// headDrop drops the oldest droppable slice first, using a FIFO queue with
+// lazy deletion.
+type headDrop struct {
+	queue []int
+	head  int
+	set   lazySet
+}
+
+// NewHeadDrop returns a policy that discards the oldest droppable slice
+// first (drop-from-front).
+func NewHeadDrop() Policy { return &headDrop{set: newLazySet()} }
+
+// HeadDrop is the Factory for NewHeadDrop.
+func HeadDrop() Policy { return NewHeadDrop() }
+
+func (p *headDrop) Name() string { return "headdrop" }
+
+func (p *headDrop) Add(s stream.Slice) {
+	p.set.add(s)
+	p.queue = append(p.queue, s.ID)
+}
+
+func (p *headDrop) Remove(id int) { p.set.remove(id) }
+
+func (p *headDrop) Victim() (stream.Slice, bool) {
+	for p.head < len(p.queue) {
+		id := p.queue[p.head]
+		p.head++
+		if p.head > len(p.queue)/2 && p.head > 64 {
+			// Compact to keep memory bounded on long runs.
+			p.queue = append(p.queue[:0], p.queue[p.head:]...)
+			p.head = 0
+		}
+		if s, ok := p.set.get(id); ok {
+			p.set.remove(id)
+			return s, true
+		}
+	}
+	return stream.Slice{}, false
+}
+
+func (p *headDrop) Len() int { return p.set.len() }
+
+func (p *headDrop) Reset() {
+	p.queue = p.queue[:0]
+	p.head = 0
+	p.set.reset()
+}
+
+// ---------------------------------------------------------------------------
+// Greedy
+// ---------------------------------------------------------------------------
+
+// greedyItem orders the min-heap behind the greedy policy: lowest byte value
+// first; ties are broken toward the newest slice (largest ID), matching the
+// tail-drop intuition that newer data has had less invested in it. The paper
+// allows arbitrary tie-breaking.
+type greedyItem struct {
+	id        int
+	byteValue float64
+}
+
+type greedyHeap []greedyItem
+
+func (h greedyHeap) Len() int { return len(h) }
+func (h greedyHeap) Less(i, j int) bool {
+	if h[i].byteValue != h[j].byteValue {
+		return h[i].byteValue < h[j].byteValue
+	}
+	return h[i].id > h[j].id
+}
+func (h greedyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *greedyHeap) Push(x any)   { *h = append(*h, x.(greedyItem)) }
+func (h *greedyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// greedy drops the slice with the lowest byte value w(s)/|s| first
+// (Section 4.1), via a min-heap with lazy deletion.
+type greedy struct {
+	h   greedyHeap
+	set lazySet
+}
+
+// NewGreedy returns the greedy policy of Section 4.1: on overflow, discard
+// the droppable slice with the lowest byte value.
+func NewGreedy() Policy { return &greedy{set: newLazySet()} }
+
+// Greedy is the Factory for NewGreedy.
+func Greedy() Policy { return NewGreedy() }
+
+func (p *greedy) Name() string { return "greedy" }
+
+func (p *greedy) Add(s stream.Slice) {
+	p.set.add(s)
+	heap.Push(&p.h, greedyItem{id: s.ID, byteValue: s.ByteValue()})
+}
+
+func (p *greedy) Remove(id int) { p.set.remove(id) }
+
+func (p *greedy) Victim() (stream.Slice, bool) {
+	for p.h.Len() > 0 {
+		it := heap.Pop(&p.h).(greedyItem)
+		if s, ok := p.set.get(it.id); ok {
+			p.set.remove(it.id)
+			return s, true
+		}
+	}
+	return stream.Slice{}, false
+}
+
+// peek returns the live minimum-byte-value slice without removing it,
+// discarding stale heap entries along the way.
+func (p *greedy) peek() (stream.Slice, bool) {
+	for p.h.Len() > 0 {
+		if s, ok := p.set.get(p.h[0].id); ok {
+			return s, true
+		}
+		heap.Pop(&p.h)
+	}
+	return stream.Slice{}, false
+}
+
+func (p *greedy) Len() int { return p.set.len() }
+
+func (p *greedy) Reset() {
+	p.h = p.h[:0]
+	p.set.reset()
+}
+
+// ---------------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------------
+
+// random drops a uniformly random droppable slice, using a swap-delete
+// vector plus an id->position index for O(1) operations.
+type random struct {
+	rng  *rand.Rand
+	seed int64
+	ids  []int
+	pos  map[int]int
+	all  map[int]stream.Slice
+}
+
+// NewRandom returns a policy that discards a uniformly random droppable
+// slice, driven by a deterministic source seeded with seed.
+func NewRandom(seed int64) Policy {
+	return &random{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+		pos:  make(map[int]int),
+		all:  make(map[int]stream.Slice),
+	}
+}
+
+// Random returns a Factory producing NewRandom(seed) policies.
+func Random(seed int64) Factory {
+	return func() Policy { return NewRandom(seed) }
+}
+
+func (p *random) Name() string { return fmt.Sprintf("random(seed=%d)", p.seed) }
+
+func (p *random) Add(s stream.Slice) {
+	if _, ok := p.pos[s.ID]; ok {
+		return
+	}
+	p.pos[s.ID] = len(p.ids)
+	p.ids = append(p.ids, s.ID)
+	p.all[s.ID] = s
+}
+
+func (p *random) Remove(id int) {
+	i, ok := p.pos[id]
+	if !ok {
+		return
+	}
+	last := len(p.ids) - 1
+	p.ids[i] = p.ids[last]
+	p.pos[p.ids[i]] = i
+	p.ids = p.ids[:last]
+	delete(p.pos, id)
+	delete(p.all, id)
+}
+
+func (p *random) Victim() (stream.Slice, bool) {
+	if len(p.ids) == 0 {
+		return stream.Slice{}, false
+	}
+	id := p.ids[p.rng.Intn(len(p.ids))]
+	s := p.all[id]
+	p.Remove(id)
+	return s, true
+}
+
+func (p *random) Len() int { return len(p.ids) }
+
+func (p *random) Reset() {
+	p.rng = rand.New(rand.NewSource(p.seed))
+	p.ids = p.ids[:0]
+	p.pos = make(map[int]int)
+	p.all = make(map[int]stream.Slice)
+}

@@ -1,0 +1,158 @@
+package drop
+
+import (
+	"repro/internal/stream"
+)
+
+// EarlyDropper is an optional extension of Policy. The paper's generic
+// algorithm only discards on overflow; Section 6 raises "more pro-active
+// algorithms for overflows" as an open problem. A policy implementing
+// EarlyDropper is additionally consulted by the server at the start of
+// every step, before transmission admits a new slice to the (unpreemptable)
+// head of the queue.
+//
+// Why proactivity can help at all: dropping early can never improve which
+// *set* of slices fits the buffer (the overflow-time greedy choice already
+// keeps the most valuable fit), but it can prevent a low-value slice from
+// reaching the head and *starting transmission* — after which the
+// no-preemption rule protects it even when far more valuable data arrives
+// one step later, wasting link capacity on cheap bytes.
+type EarlyDropper interface {
+	Policy
+	// EarlyVictim may return a slice to discard proactively given the
+	// current occupancy and capacity. It is called repeatedly until
+	// ok == false. The returned slice must currently be droppable; the
+	// policy must unregister it, exactly like Victim.
+	EarlyVictim(occupancy, capacity int) (s stream.Slice, ok bool)
+}
+
+// anticipate wraps the greedy policy with a threshold rule: whenever the
+// buffer is more than threshold-full, slices whose byte value is below
+// valueFloor are discarded proactively (lowest first), before they can
+// commence transmission.
+type anticipate struct {
+	*greedy
+	threshold  float64
+	valueFloor float64
+}
+
+// NewAnticipate returns a proactive greedy policy: on overflow it behaves
+// exactly like NewGreedy; additionally, while occupancy exceeds
+// threshold*capacity, it sheds droppable slices with byte value below
+// valueFloor, lowest value first.
+//
+// threshold is clamped to [0, 1]. valueFloor <= 0 disables the value
+// filter (any lowest-value slice may be shed early).
+func NewAnticipate(threshold, valueFloor float64) Policy {
+	if threshold < 0 {
+		threshold = 0
+	}
+	if threshold > 1 {
+		threshold = 1
+	}
+	return &anticipate{
+		greedy:     NewGreedy().(*greedy),
+		threshold:  threshold,
+		valueFloor: valueFloor,
+	}
+}
+
+// Anticipate returns a Factory for NewAnticipate.
+func Anticipate(threshold, valueFloor float64) Factory {
+	return func() Policy { return NewAnticipate(threshold, valueFloor) }
+}
+
+func (p *anticipate) Name() string { return "anticipate" }
+
+// randomMix randomizes between the greedy victim and a uniformly random
+// one. Theorem 4.8's 1.2287 lower bound holds only for DETERMINISTIC
+// online algorithms; a randomized policy denies the adversary knowledge of
+// when the last low-value slice departs, so against an oblivious adversary
+// its expected competitive ratio can differ from any deterministic
+// policy's. The "onlinelb" experiment measures exactly that.
+type randomMix struct {
+	g    *greedy
+	r    *random
+	rng  *randSource
+	prob float64
+}
+
+// randSource wraps math/rand for the mix coin to keep determinism per seed.
+type randSource struct{ f func() float64 }
+
+// NewRandomMix returns a policy that, on each overflow victim decision,
+// picks a uniformly random droppable slice with probability p and the
+// greedy (lowest byte value) one otherwise. Deterministic per seed.
+func NewRandomMix(seed int64, p float64) Policy {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	r := NewRandom(seed).(*random)
+	return &randomMix{
+		g:    NewGreedy().(*greedy),
+		r:    r,
+		rng:  &randSource{f: r.rng.Float64},
+		prob: p,
+	}
+}
+
+// RandomMix returns a Factory for NewRandomMix.
+func RandomMix(seed int64, p float64) Factory {
+	return func() Policy { return NewRandomMix(seed, p) }
+}
+
+func (p *randomMix) Name() string { return "randommix" }
+
+func (p *randomMix) Add(s stream.Slice) {
+	p.g.Add(s)
+	p.r.Add(s)
+}
+
+func (p *randomMix) Remove(id int) {
+	p.g.Remove(id)
+	p.r.Remove(id)
+}
+
+func (p *randomMix) Victim() (stream.Slice, bool) {
+	var s stream.Slice
+	var ok bool
+	if p.rng.f() < p.prob {
+		s, ok = p.r.Victim()
+		if ok {
+			p.g.Remove(s.ID)
+		}
+		return s, ok
+	}
+	s, ok = p.g.Victim()
+	if ok {
+		p.r.Remove(s.ID)
+	}
+	return s, ok
+}
+
+func (p *randomMix) Len() int { return p.g.Len() }
+
+func (p *randomMix) Reset() {
+	p.g.Reset()
+	p.r.Reset()
+	p.rng.f = p.r.rng.Float64
+}
+
+func (p *anticipate) EarlyVictim(occupancy, capacity int) (stream.Slice, bool) {
+	if float64(occupancy) <= p.threshold*float64(capacity) {
+		return stream.Slice{}, false
+	}
+	// Peek at the cheapest droppable slice; only shed it if it is below
+	// the value floor (when a floor is configured).
+	s, ok := p.peek()
+	if !ok {
+		return stream.Slice{}, false
+	}
+	if p.valueFloor > 0 && s.ByteValue() >= p.valueFloor {
+		return stream.Slice{}, false
+	}
+	return p.Victim()
+}

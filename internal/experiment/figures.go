@@ -1,0 +1,328 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/offline"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the experiment drivers. The zero value selects the
+// paper-scale defaults; set Quick for the reduced settings used by the
+// repository benchmarks.
+type Config struct {
+	// Frames is the synthetic clip length (default 2000; Quick: 400).
+	Frames int
+	// Seed drives trace generation (default 1).
+	Seed int64
+	// BufferMultiples is the buffer axis of Figs. 2, 3, 5, 6 in units of
+	// the maximum frame size (default 1..10 then even values to 26).
+	BufferMultiples []float64
+	// RateFactors is the link-rate axis of Fig. 4 relative to the average
+	// stream rate (default 0.4..1.4 in steps of 0.1).
+	RateFactors []float64
+	// Fig4BufferMultiple fixes Fig. 4's buffer (default 8).
+	Fig4BufferMultiple float64
+	// Trials is the number of random instances in the validation tables
+	// (default 40; Quick: 10).
+	Trials int
+	// Quick shrinks everything for benchmark iterations.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Frames == 0 {
+		c.Frames = 2000
+		if c.Quick {
+			c.Frames = 400
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.BufferMultiples) == 0 {
+		c.BufferMultiples = []float64{0.25, 0.5, 0.75}
+		for m := 1; m <= 10; m++ {
+			c.BufferMultiples = append(c.BufferMultiples, float64(m))
+		}
+		for m := 12; m <= 26; m += 2 {
+			c.BufferMultiples = append(c.BufferMultiples, float64(m))
+		}
+		if c.Quick {
+			c.BufferMultiples = []float64{0.25, 0.5, 1, 2, 4, 8, 16, 26}
+		}
+	}
+	if len(c.RateFactors) == 0 {
+		for f := 0.4; f <= 1.401; f += 0.1 {
+			c.RateFactors = append(c.RateFactors, f)
+		}
+	}
+	if c.Fig4BufferMultiple == 0 {
+		c.Fig4BufferMultiple = 8
+	}
+	if c.Trials == 0 {
+		c.Trials = 40
+		if c.Quick {
+			c.Trials = 10
+		}
+	}
+	return c
+}
+
+// clip builds the calibrated synthetic MPEG clip for the config.
+func (c Config) clip() (*trace.Clip, error) {
+	gc := trace.DefaultGenConfig()
+	gc.Frames = c.Frames
+	gc.Seed = c.Seed
+	return trace.Generate(gc)
+}
+
+// rateFor converts a rate factor into an integer units-per-step link rate.
+func rateFor(cl *trace.Clip, factor float64) int {
+	r := int(factor*cl.AverageRate() + 0.5)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// bufferUnits floors a buffer size at one unit. No divisibility by R is
+// required: the simulator uses D = ceil(B/R) with the lawful client buffer
+// R·D, and the offline optima accept arbitrary B (their exactness for
+// non-divisible B is covered by property tests).
+func bufferUnits(units int) int {
+	if units < 1 {
+		return 1
+	}
+	return units
+}
+
+// lossPct returns the weighted loss of a schedule in percent.
+func lossPct(benefit, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * (total - benefit) / total
+}
+
+// runPolicies simulates the stream under the given policies and returns the
+// benefit per policy name.
+func runPolicies(st *stream.Stream, B, R int, policies map[string]drop.Factory) (map[string]float64, error) {
+	out := make(map[string]float64, len(policies))
+	for name, f := range policies {
+		s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", name, err)
+		}
+		out[name] = s.Benefit()
+	}
+	return out, nil
+}
+
+// lossFigure is the common core of Figs. 2 and 3: weighted loss of
+// Tail-Drop, Greedy and Optimal vs buffer size at a fixed rate factor,
+// in the single-byte-slice model.
+func lossFigure(id, title string, rateFactor float64, c Config) (*Table, error) {
+	c = c.withDefaults()
+	cl, err := c.clip()
+	if err != nil {
+		return nil, err
+	}
+	st, err := trace.ByteSliceStream(cl, trace.PaperWeights())
+	if err != nil {
+		return nil, err
+	}
+	R := rateFor(cl, rateFactor)
+	total := st.TotalWeight()
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "buffer/maxframe",
+		YLabel: "weighted loss %",
+		Series: []string{"taildrop", "greedy", "optimal"},
+		Notes: []string{
+			fmt.Sprintf("frames=%d seed=%d avgRate=%.1f R=%d maxFrame=%d units",
+				c.Frames, c.Seed, cl.AverageRate(), R, cl.MaxFrameSize()),
+			"byte slices; weights I:P:B = 12:8:1; D = B/R",
+		},
+	}
+	for _, m := range c.BufferMultiples {
+		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
+		bens, err := runPolicies(st, B, R, map[string]drop.Factory{
+			"taildrop": drop.TailDrop, "greedy": drop.Greedy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := offline.OptimalUnit(st, B, R)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, map[string]float64{
+			"taildrop": lossPct(bens["taildrop"], total),
+			"greedy":   lossPct(bens["greedy"], total),
+			"optimal":  lossPct(opt.Benefit, total),
+		})
+	}
+	return t, nil
+}
+
+// Fig2 reproduces Figure 2: weighted loss vs buffer size with the link 10%
+// above the average stream rate, byte slices.
+func Fig2(c Config) (*Table, error) {
+	return lossFigure("fig2", "Weighted loss, R = 1.1 x average rate (Fig. 2)", 1.1, c)
+}
+
+// Fig3 reproduces Figure 3: the same with the link 10% below the average
+// rate; at least ~10% of the bytes must be lost, but Greedy and Optimal
+// keep the weighted loss far below Tail-Drop's.
+func Fig3(c Config) (*Table, error) {
+	return lossFigure("fig3", "Weighted loss, R = 0.9 x average rate (Fig. 3)", 0.9, c)
+}
+
+// Fig4 reproduces Figure 4: benefit (percent of the total offered weight)
+// of Tail-Drop, Greedy and Optimal as the link rate varies from 0.4 to 1.4
+// times the average rate, at a fixed buffer.
+func Fig4(c Config) (*Table, error) {
+	c = c.withDefaults()
+	cl, err := c.clip()
+	if err != nil {
+		return nil, err
+	}
+	st, err := trace.ByteSliceStream(cl, trace.PaperWeights())
+	if err != nil {
+		return nil, err
+	}
+	total := st.TotalWeight()
+	t := &Table{
+		ID:     "fig4",
+		Title:  "Benefit vs link rate (Fig. 4)",
+		XLabel: "rate/avgRate",
+		YLabel: "benefit %",
+		Series: []string{"taildrop", "greedy", "optimal"},
+		Notes: []string{
+			fmt.Sprintf("frames=%d seed=%d buffer=%.0f x maxFrame; byte slices",
+				c.Frames, c.Seed, c.Fig4BufferMultiple),
+		},
+	}
+	for _, f := range c.RateFactors {
+		R := rateFor(cl, f)
+		B := bufferUnits(int(c.Fig4BufferMultiple * float64(cl.MaxFrameSize())))
+		bens, err := runPolicies(st, B, R, map[string]drop.Factory{
+			"taildrop": drop.TailDrop, "greedy": drop.Greedy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := offline.OptimalUnit(st, B, R)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f, map[string]float64{
+			"taildrop": 100 * bens["taildrop"] / total,
+			"greedy":   100 * bens["greedy"] / total,
+			"optimal":  100 * opt.Benefit / total,
+		})
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: the optimal weighted loss for whole-frame
+// slices versus single-byte slices, as a function of the buffer size, at
+// the average link rate. The gap reaches roughly a factor 4 for small
+// buffers and shrinks as the buffer grows.
+func Fig5(c Config) (*Table, error) {
+	c = c.withDefaults()
+	cl, err := c.clip()
+	if err != nil {
+		return nil, err
+	}
+	byteSt, err := trace.ByteSliceStream(cl, trace.PaperWeights())
+	if err != nil {
+		return nil, err
+	}
+	frameSt, err := trace.WholeFrameStream(cl, trace.PaperWeights())
+	if err != nil {
+		return nil, err
+	}
+	R := rateFor(cl, 1.0)
+	total := byteSt.TotalWeight()
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Optimal weighted loss: frame slices vs byte slices (Fig. 5)",
+		XLabel: "buffer/maxframe",
+		YLabel: "weighted loss %",
+		Series: []string{"optimal-frame", "optimal-byte"},
+		Notes: []string{
+			fmt.Sprintf("frames=%d seed=%d R=%d (average rate)", c.Frames, c.Seed, R),
+		},
+	}
+	for _, m := range c.BufferMultiples {
+		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
+		optB, err := offline.OptimalUnit(byteSt, B, R)
+		if err != nil {
+			return nil, err
+		}
+		optF, err := offline.OptimalFrames(frameSt, B, R)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, map[string]float64{
+			"optimal-frame": lossPct(optF.Benefit, total),
+			"optimal-byte":  lossPct(optB.Benefit, total),
+		})
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: weighted loss of Tail-Drop and Greedy for
+// whole-frame slices and byte slices vs buffer size, at the average rate.
+func Fig6(c Config) (*Table, error) {
+	c = c.withDefaults()
+	cl, err := c.clip()
+	if err != nil {
+		return nil, err
+	}
+	byteSt, err := trace.ByteSliceStream(cl, trace.PaperWeights())
+	if err != nil {
+		return nil, err
+	}
+	frameSt, err := trace.WholeFrameStream(cl, trace.PaperWeights())
+	if err != nil {
+		return nil, err
+	}
+	R := rateFor(cl, 1.0)
+	total := byteSt.TotalWeight()
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Tail-Drop and Greedy: frame slices vs byte slices (Fig. 6)",
+		XLabel: "buffer/maxframe",
+		YLabel: "weighted loss %",
+		Series: []string{"taildrop-frame", "greedy-frame", "taildrop-byte", "greedy-byte"},
+		Notes: []string{
+			fmt.Sprintf("frames=%d seed=%d R=%d (average rate)", c.Frames, c.Seed, R),
+		},
+	}
+	policies := map[string]drop.Factory{"taildrop": drop.TailDrop, "greedy": drop.Greedy}
+	for _, m := range c.BufferMultiples {
+		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
+		row := map[string]float64{}
+		bensB, err := runPolicies(byteSt, B, R, policies)
+		if err != nil {
+			return nil, err
+		}
+		bensF, err := runPolicies(frameSt, B, R, policies)
+		if err != nil {
+			return nil, err
+		}
+		row["taildrop-byte"] = lossPct(bensB["taildrop"], total)
+		row["greedy-byte"] = lossPct(bensB["greedy"], total)
+		row["taildrop-frame"] = lossPct(bensF["taildrop"], total)
+		row["greedy-frame"] = lossPct(bensF["greedy"], total)
+		t.AddRow(m, row)
+	}
+	return t, nil
+}

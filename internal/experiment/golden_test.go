@@ -1,0 +1,88 @@
+package experiment
+
+// Golden regression tests: every experiment is fully deterministic
+// (seeded traces, deterministic algorithms), so its quick-mode CSV output
+// is locked in testdata/. Any drift — an accidental change to a policy, an
+// optimizer, the trace generator, or an experiment parameter — fails here
+// first with a readable diff.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/experiment -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenIDs are the experiments locked by golden files. The slow ones are
+// all included: quick mode keeps each under a second.
+var goldenIDs = []string{
+	"fig2", "fig3", "fig4", "fig5", "fig6",
+	"brd", "bufratio", "varslices", "greedylb", "lossless",
+	"muxgain", "alternatives", "decode", "glitch", "robust", "smartweights",
+}
+
+func TestGolden(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := All()[id](Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.CSV()
+			path := filepath.Join("testdata", id+"_quick.csv")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, clip(got), clip(string(want)))
+			}
+		})
+	}
+}
+
+// clip keeps golden-diff output readable.
+func clip(s string) string {
+	const max = 2000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "\n…(truncated)"
+}
+
+func TestGoldenListIsCurrent(t *testing.T) {
+	// Every golden ID must exist in the registry (catch renames).
+	for _, id := range goldenIDs {
+		if _, ok := All()[id]; !ok {
+			t.Errorf("golden ID %q not in registry", id)
+		}
+	}
+	// Goldens must not contain trailing whitespace damage.
+	for _, id := range goldenIDs {
+		b, err := os.ReadFile(filepath.Join("testdata", id+"_quick.csv"))
+		if err != nil {
+			continue // covered by TestGolden
+		}
+		if strings.Contains(string(b), "\r") {
+			t.Errorf("golden %s contains carriage returns", id)
+		}
+	}
+}

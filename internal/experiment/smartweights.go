@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/trace"
+)
+
+// TableSmartWeights asks whether the paper's fixed 12:8:1 weights are the
+// right input to the greedy policy, or whether weights derived from the
+// actual decode-dependency damage (trace.DependencyWeights) buy more
+// *decodable* frames. Both weightings steer the SAME greedy policy; the
+// judge is the dependency-aware decodable fraction, which neither policy
+// optimizes directly.
+func TableSmartWeights(c Config) (*Table, error) {
+	c = c.withDefaults()
+	cl, err := c.clip()
+	if err != nil {
+		return nil, err
+	}
+	paper, err := trace.WholeFrameStream(cl, trace.PaperWeights())
+	if err != nil {
+		return nil, err
+	}
+	smart, err := trace.WeightedStream(cl, trace.DependencyWeights(cl))
+	if err != nil {
+		return nil, err
+	}
+	R := rateFor(cl, 0.9)
+	t := &Table{
+		ID:     "smartweights",
+		Title:  "Greedy input weights: the paper's 12:8:1 vs decode-damage-derived",
+		XLabel: "buffer/maxframe",
+		YLabel: "% decodable frames",
+		Series: []string{"paper-12-8-1", "dependency-derived", "taildrop-reference"},
+		Notes: []string{
+			fmt.Sprintf("frames=%d R=%d (0.9 x avg); whole-frame slices; judged on", c.Frames, R),
+			"the decodable fraction under I<-P<-B reference chains.",
+			"Finding: the two weightings coincide — greedy's choices are almost",
+			"always 'B frame vs anchor', and any weighting with B << {P, I} makes",
+			"them identically. The paper's 12:8:1 needs no tuning; only the",
+			"ordinal structure matters.",
+		},
+	}
+	multiples := []float64{1, 2, 4, 8, 16}
+	if c.Quick {
+		multiples = []float64{1, 4, 16}
+	}
+	for _, m := range multiples {
+		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
+		row := map[string]float64{}
+		sPaper, err := core.Simulate(paper, core.Config{ServerBuffer: B, Rate: R, Policy: drop.Greedy})
+		if err != nil {
+			return nil, err
+		}
+		sSmart, err := core.Simulate(smart, core.Config{ServerBuffer: B, Rate: R, Policy: drop.Greedy})
+		if err != nil {
+			return nil, err
+		}
+		sTail, err := core.Simulate(paper, core.Config{ServerBuffer: B, Rate: R, Policy: drop.TailDrop})
+		if err != nil {
+			return nil, err
+		}
+		row["paper-12-8-1"] = 100 * trace.Decodability(cl, func(i int) bool { return sPaper.Outcomes[i].Played() }).DecodableFraction()
+		row["dependency-derived"] = 100 * trace.Decodability(cl, func(i int) bool { return sSmart.Outcomes[i].Played() }).DecodableFraction()
+		row["taildrop-reference"] = 100 * trace.Decodability(cl, func(i int) bool { return sTail.Outcomes[i].Played() }).DecodableFraction()
+		t.AddRow(m, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,41 @@
+package lossless_test
+
+import (
+	"fmt"
+
+	"repro/internal/lossless"
+	"repro/internal/stream"
+)
+
+// ExampleMinRateForDelay derives the bandwidth a latency budget buys: the
+// setup-protocol calculation of the paper's Section 3.3.
+func ExampleMinRateForDelay() {
+	// A stream that alternates 10-byte bursts with idle steps.
+	b := stream.NewBuilder()
+	for t := 0; t < 10; t += 2 {
+		b.Add(t, 10, 10)
+	}
+	st := b.MustBuild()
+
+	// Delay 1 still needs rate 10: the lawful buffer R·D must hold a
+	// whole 10-byte slice. At delay 4 the binding constraint is the
+	// sustained rate over the whole stream: 50 bytes over 9+4 steps.
+	for _, d := range []int{0, 1, 4} {
+		r, _ := lossless.MinRateForDelay(st, d)
+		fmt.Printf("delay %d needs rate %d (buffer %d)\n", d, r, r*d)
+	}
+	// Output:
+	// delay 0 needs rate 10 (buffer 0)
+	// delay 1 needs rate 10 (buffer 10)
+	// delay 4 needs rate 4 (buffer 16)
+}
+
+// ExampleOptimalStoredPlan computes the minimum-peak-rate plan for a stored
+// clip with a client buffer: the taut string through the playback corridor.
+func ExampleOptimalStoredPlan() {
+	demand := []int{8, 1, 1, 1, 1} // a big first frame, then a trickle
+	plan, _ := lossless.OptimalStoredPlan(demand, 100, 2)
+	fmt.Printf("peak %.2f with %d segments\n", plan.Peak, len(plan.Segments))
+	// Output:
+	// peak 2.67 with 2 segments
+}

@@ -1,0 +1,39 @@
+package mux_test
+
+import (
+	"fmt"
+
+	"repro/internal/drop"
+	"repro/internal/mux"
+	"repro/internal/stream"
+)
+
+// Example multiplexes two complementary bursty streams: each alternates
+// busy and idle steps, out of phase, so one shared link carries both
+// losslessly while private partitions overflow.
+func ExampleShared() {
+	mk := func(phase int) *stream.Stream {
+		b := stream.NewBuilder()
+		for t := 0; t < 60; t++ {
+			if t%3 == phase {
+				for i := 0; i < 6; i++ {
+					b.Add(t, 1, 1) // a burst of 6 unit slices every 3rd step
+				}
+			}
+		}
+		return b.MustBuild()
+	}
+	streams := []*stream.Stream{mk(0), mk(1)}
+
+	// Total rate 4 = exactly the combined average; total buffer 4.
+	shared, _ := mux.Shared(streams, 4, 4, drop.Greedy)
+	part, _ := mux.Partitioned(streams, 4, 4, drop.Greedy)
+	fmt.Printf("shared loss:      %.0f%%\n", 100*shared.WeightedLoss())
+	fmt.Printf("partitioned loss: %.0f%% (rate 2, buffer 2 against 6-slice bursts)\n",
+		100*part.WeightedLoss())
+	fmt.Printf("shared fairness (Jain): %.2f\n", shared.FairnessIndex())
+	// Output:
+	// shared loss:      0%
+	// partitioned loss: 33% (rate 2, buffer 2 against 6-slice bursts)
+	// shared fairness (Jain): 1.00
+}

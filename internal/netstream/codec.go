@@ -1,0 +1,205 @@
+// Package netstream carries smoothed real-time streams over a real
+// transport (any io.ReadWriter; the cmd/smoothd and cmd/smoothplay tools
+// use TCP). It is the system of Fig. 1 of the paper made concrete:
+//
+//   - the sender wraps core.Server: it buffers offered slices, transmits
+//     FIFO at the negotiated rate each step (pacing), and discards slices
+//     via a drop.Policy on overflow;
+//   - the receiver reassembles slices and plays frame t exactly D steps
+//     after its send step, anchored at the first received message — the
+//     paper's clock-synchronization-free client (Section 3.3);
+//   - the handshake negotiates B, R and D so that B = R·D holds.
+//
+// The wire format is a simple length-delimited binary protocol
+// (big-endian, stdlib encoding/binary), versioned and magic-tagged.
+package netstream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic tags every Hello message.
+	Magic = 0x534d5448 // "SMTH"
+	// Version of the wire protocol. Version 2 added StreamID to Data
+	// (multiplexed sessions).
+	Version = 2
+	// MaxPayload bounds a single data message's payload, as a defense
+	// against corrupt length fields.
+	MaxPayload = 16 << 20
+)
+
+// Message type tags.
+const (
+	msgHello  = 1
+	msgAccept = 2
+	msgData   = 3
+	msgEnd    = 4
+)
+
+// Hello is the client's opening message: it advertises its buffer and the
+// smoothing delay it is willing to tolerate (Section 3.3's setup protocol:
+// "the client and the server advertise their buffer size in the connection
+// setup message; a client may also specify the desired latency").
+type Hello struct {
+	ClientBuffer uint32
+	DesiredDelay uint32
+}
+
+// Accept is the server's reply fixing the session parameters, chosen so
+// that B = R·D.
+type Accept struct {
+	Rate         uint32
+	Delay        uint32
+	ServerBuffer uint32
+	// StepMicros is the wall-clock duration of one model step in
+	// microseconds, for real-time pacing.
+	StepMicros uint32
+}
+
+// Data carries a contiguous run of bytes of one slice sent in one step.
+type Data struct {
+	// StreamID identifies the substream in a multiplexed session
+	// (0 for single-stream sessions). Slices of different substreams
+	// share one smoothing buffer and one paced link — the statistical-
+	// multiplexing deployment of package mux, on the wire.
+	StreamID uint32
+	SliceID  uint32
+	Arrival  uint32
+	Size     uint32
+	Weight   float64
+	// SendStep is the model step in which these bytes entered the link;
+	// the receiver anchors its playout clock to it.
+	SendStep uint32
+	// Offset is the index of the first payload byte within the slice.
+	Offset  uint32
+	Payload []byte
+}
+
+// Msg is a decoded protocol message: exactly one field is non-nil/true.
+type Msg struct {
+	Hello  *Hello
+	Accept *Accept
+	Data   *Data
+	End    bool
+}
+
+// ErrBadMagic reports a Hello with the wrong magic or version.
+var ErrBadMagic = errors.New("netstream: bad magic or protocol version")
+
+// WriteHello writes a Hello message.
+func WriteHello(w io.Writer, h Hello) error {
+	buf := make([]byte, 1+4+4+4+4)
+	buf[0] = msgHello
+	binary.BigEndian.PutUint32(buf[1:], Magic)
+	binary.BigEndian.PutUint32(buf[5:], Version)
+	binary.BigEndian.PutUint32(buf[9:], h.ClientBuffer)
+	binary.BigEndian.PutUint32(buf[13:], h.DesiredDelay)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteAccept writes an Accept message.
+func WriteAccept(w io.Writer, a Accept) error {
+	buf := make([]byte, 1+4*4)
+	buf[0] = msgAccept
+	binary.BigEndian.PutUint32(buf[1:], a.Rate)
+	binary.BigEndian.PutUint32(buf[5:], a.Delay)
+	binary.BigEndian.PutUint32(buf[9:], a.ServerBuffer)
+	binary.BigEndian.PutUint32(buf[13:], a.StepMicros)
+	_, err := w.Write(buf)
+	return err
+}
+
+// WriteData writes a Data message.
+func WriteData(w io.Writer, d Data) error {
+	if len(d.Payload) > MaxPayload {
+		return fmt.Errorf("netstream: payload %d exceeds limit %d", len(d.Payload), MaxPayload)
+	}
+	head := make([]byte, 1+4*7+8)
+	head[0] = msgData
+	binary.BigEndian.PutUint32(head[1:], d.StreamID)
+	binary.BigEndian.PutUint32(head[5:], d.SliceID)
+	binary.BigEndian.PutUint32(head[9:], d.Arrival)
+	binary.BigEndian.PutUint32(head[13:], d.Size)
+	binary.BigEndian.PutUint64(head[17:], math.Float64bits(d.Weight))
+	binary.BigEndian.PutUint32(head[25:], d.SendStep)
+	binary.BigEndian.PutUint32(head[29:], d.Offset)
+	binary.BigEndian.PutUint32(head[33:], uint32(len(d.Payload)))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	_, err := w.Write(d.Payload)
+	return err
+}
+
+// WriteEnd writes the end-of-stream marker.
+func WriteEnd(w io.Writer) error {
+	_, err := w.Write([]byte{msgEnd})
+	return err
+}
+
+// ReadMsg reads and decodes the next message.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var tag [1]byte
+	if _, err := io.ReadFull(r, tag[:]); err != nil {
+		return Msg{}, err
+	}
+	switch tag[0] {
+	case msgHello:
+		var buf [16]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Msg{}, err
+		}
+		if binary.BigEndian.Uint32(buf[0:]) != Magic || binary.BigEndian.Uint32(buf[4:]) != Version {
+			return Msg{}, ErrBadMagic
+		}
+		return Msg{Hello: &Hello{
+			ClientBuffer: binary.BigEndian.Uint32(buf[8:]),
+			DesiredDelay: binary.BigEndian.Uint32(buf[12:]),
+		}}, nil
+	case msgAccept:
+		var buf [16]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Msg{}, err
+		}
+		return Msg{Accept: &Accept{
+			Rate:         binary.BigEndian.Uint32(buf[0:]),
+			Delay:        binary.BigEndian.Uint32(buf[4:]),
+			ServerBuffer: binary.BigEndian.Uint32(buf[8:]),
+			StepMicros:   binary.BigEndian.Uint32(buf[12:]),
+		}}, nil
+	case msgData:
+		var buf [36]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Msg{}, err
+		}
+		n := binary.BigEndian.Uint32(buf[32:])
+		if n > MaxPayload {
+			return Msg{}, fmt.Errorf("netstream: payload length %d exceeds limit", n)
+		}
+		d := &Data{
+			StreamID: binary.BigEndian.Uint32(buf[0:]),
+			SliceID:  binary.BigEndian.Uint32(buf[4:]),
+			Arrival:  binary.BigEndian.Uint32(buf[8:]),
+			Size:     binary.BigEndian.Uint32(buf[12:]),
+			Weight:   math.Float64frombits(binary.BigEndian.Uint64(buf[16:])),
+			SendStep: binary.BigEndian.Uint32(buf[24:]),
+			Offset:   binary.BigEndian.Uint32(buf[28:]),
+			Payload:  make([]byte, n),
+		}
+		if _, err := io.ReadFull(r, d.Payload); err != nil {
+			return Msg{}, err
+		}
+		return Msg{Data: d}, nil
+	case msgEnd:
+		return Msg{End: true}, nil
+	default:
+		return Msg{}, fmt.Errorf("netstream: unknown message tag %d", tag[0])
+	}
+}

@@ -1,0 +1,92 @@
+package netstream
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMsg feeds arbitrary bytes to the wire decoder: it must never
+// panic or over-allocate, and every message it accepts must re-encode to
+// bytes the decoder reads back identically.
+func FuzzReadMsg(f *testing.F) {
+	// Seed with each valid message type.
+	var seed bytes.Buffer
+	_ = WriteHello(&seed, Hello{ClientBuffer: 7, DesiredDelay: 3})
+	f.Add(append([]byte{}, seed.Bytes()...))
+	seed.Reset()
+	_ = WriteAccept(&seed, Accept{Rate: 1, Delay: 2, ServerBuffer: 2, StepMicros: 1000})
+	f.Add(append([]byte{}, seed.Bytes()...))
+	seed.Reset()
+	_ = WriteData(&seed, Data{SliceID: 1, Size: 2, Payload: []byte{1, 2}})
+	f.Add(append([]byte{}, seed.Bytes()...))
+	f.Add([]byte{msgEnd})
+	f.Add([]byte{msgData, 0xff, 0xff})
+	f.Add([]byte{99, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		r := bytes.NewReader(input)
+		for {
+			msg, err := ReadMsg(r)
+			if err != nil {
+				return // any error is fine; panics are not
+			}
+			// Round-trip whatever was decoded.
+			var buf bytes.Buffer
+			switch {
+			case msg.Hello != nil:
+				if err := WriteHello(&buf, *msg.Hello); err != nil {
+					t.Fatal(err)
+				}
+			case msg.Accept != nil:
+				if err := WriteAccept(&buf, *msg.Accept); err != nil {
+					t.Fatal(err)
+				}
+			case msg.Data != nil:
+				if len(msg.Data.Payload) > MaxPayload {
+					t.Fatalf("decoder accepted %d-byte payload", len(msg.Data.Payload))
+				}
+				if err := WriteData(&buf, *msg.Data); err != nil {
+					t.Fatal(err)
+				}
+			case msg.End:
+				if err := WriteEnd(&buf); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				t.Fatal("decoder returned an empty message without error")
+			}
+			again, err := ReadMsg(&buf)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !msgEqual(msg, again) {
+				t.Fatalf("round trip changed message: %+v vs %+v", msg, again)
+			}
+		}
+	})
+}
+
+func msgEqual(a, b Msg) bool {
+	switch {
+	case a.Hello != nil:
+		return b.Hello != nil && *a.Hello == *b.Hello
+	case a.Accept != nil:
+		return b.Accept != nil && *a.Accept == *b.Accept
+	case a.Data != nil:
+		if b.Data == nil {
+			return false
+		}
+		x, y := a.Data, b.Data
+		if !bytes.Equal(x.Payload, y.Payload) {
+			return false
+		}
+		// NaN weights never compare equal even though the bit pattern
+		// round-trips; treat two NaNs as matching.
+		weightsMatch := x.Weight == y.Weight || (x.Weight != x.Weight && y.Weight != y.Weight)
+		return weightsMatch &&
+			x.SliceID == y.SliceID && x.Arrival == y.Arrival && x.Size == y.Size &&
+			x.SendStep == y.SendStep && x.Offset == y.Offset
+	default:
+		return a.End && b.End
+	}
+}

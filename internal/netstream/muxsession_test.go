@@ -1,0 +1,151 @@
+package netstream
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/drop"
+	"repro/internal/mux"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func muxClips(t *testing.T, k, frames int) []*trace.Clip {
+	t.Helper()
+	clips := make([]*trace.Clip, k)
+	for i := range clips {
+		cfg := trace.DefaultGenConfig()
+		cfg.Frames = frames
+		cfg.Seed = int64(i + 1)
+		c, err := trace.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clips[i] = c
+	}
+	return clips
+}
+
+func TestMuxerOffersAndLocalIDs(t *testing.T) {
+	a := stream.NewBuilder().Add(0, 1, 1).Add(1, 2, 2).MustBuild()
+	b := stream.NewBuilder().Add(0, 3, 3).MustBuild()
+	m, err := NewMuxer([]*stream.Stream{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Streams() != 2 || m.Horizon() != 1 {
+		t.Errorf("streams=%d horizon=%d", m.Streams(), m.Horizon())
+	}
+	offers := m.Offers(0, func(si int, sl stream.Slice) []byte {
+		return make([]byte, sl.Size)
+	})
+	if len(offers) != 2 {
+		t.Fatalf("step-0 offers = %d", len(offers))
+	}
+	// Session IDs are unique and interleaved by (arrival, stream):
+	// a.slice0 -> 0, b.slice0 -> 1, a.slice1 -> 2.
+	ids := map[int]bool{}
+	for _, o := range offers {
+		if ids[o.Slice.ID] {
+			t.Fatalf("duplicate session ID %d", o.Slice.ID)
+		}
+		ids[o.Slice.ID] = true
+	}
+	local, err := m.LocalID(1, 1)
+	if err != nil || local != 0 {
+		t.Errorf("LocalID(1, 1) = %d, %v; want 0", local, err)
+	}
+	if _, err := m.LocalID(1, 0); err == nil {
+		t.Error("cross-stream session ID accepted")
+	}
+	if _, err := m.LocalID(5, 0); err == nil {
+		t.Error("unknown substream accepted")
+	}
+	if _, err := NewMuxer(nil); err == nil {
+		t.Error("empty muxer accepted")
+	}
+}
+
+// TestMuxSessionMatchesSharedSimulation — the wire mux session delivers
+// exactly the per-stream benefit that the mux.Shared simulation predicts.
+func TestMuxSessionMatchesSharedSimulation(t *testing.T) {
+	const k = 3
+	clips := muxClips(t, k, 200)
+	streams := make([]*stream.Stream, k)
+	totalBytes, horizon := 0, 0
+	for i, c := range clips {
+		st, err := trace.WholeFrameStream(c, trace.PaperWeights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams[i] = st
+		totalBytes += st.TotalBytes()
+		if st.Horizon() > horizon {
+			horizon = st.Horizon()
+		}
+	}
+	R := int(0.95 * float64(totalBytes) / float64(horizon+1))
+	B := 4 * 120 * k
+
+	var wire bytes.Buffer
+	dropped, err := ServeMux(&wire, clips, SenderConfig{ServerBuffer: B, Rate: R, Policy: drop.Greedy}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := (B + R - 1) / R
+	stats, err := ReceiveMux(&wire, delay, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := mux.Shared(streams, R, B, drop.Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if math.Abs(stats.PerStream[i].Weight-sim.PerStream[i].PlayedWeight) > 1e-6 {
+			t.Errorf("stream %d: wire weight %v != simulated %v",
+				i, stats.PerStream[i].Weight, sim.PerStream[i].PlayedWeight)
+		}
+		if stats.PerStream[i].Bytes != sim.PerStream[i].PlayedBytes {
+			t.Errorf("stream %d: wire bytes %d != simulated %d",
+				i, stats.PerStream[i].Bytes, sim.PerStream[i].PlayedBytes)
+		}
+	}
+	if stats.Incomplete != 0 {
+		t.Errorf("%d incomplete slices on a lossless wire", stats.Incomplete)
+	}
+	// Drops happened iff the simulation dropped.
+	simDropped := 0
+	for i := range sim.PerStream {
+		simDropped += streams[i].Len()
+	}
+	simPlayed := 0
+	for i := range sim.PerStream {
+		simPlayed += stats.PerStream[i].Played
+	}
+	if dropped != simDropped-simPlayed {
+		t.Errorf("wire dropped %d, simulation %d", dropped, simDropped-simPlayed)
+	}
+}
+
+func TestReceiveMuxValidation(t *testing.T) {
+	if _, err := ReceiveMux(bytes.NewReader(nil), 1, 0); err == nil {
+		t.Error("stream count 0 accepted")
+	}
+	// A data message tagged with an out-of-range stream fails cleanly.
+	var wire bytes.Buffer
+	if err := WriteData(&wire, Data{StreamID: 9, SliceID: 1, Arrival: 0, Size: 1, SendStep: 0, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteData(&wire, Data{StreamID: 9, SliceID: 2, Arrival: 1, Size: 1, SendStep: 5, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEnd(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReceiveMux(&wire, 1, 2); err == nil {
+		t.Error("out-of-range stream tag accepted")
+	}
+}

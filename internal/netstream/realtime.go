@@ -1,0 +1,235 @@
+package netstream
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// ServeConfig parameterizes a real-time serving session.
+type ServeConfig struct {
+	// Rate is R in payload bytes per model step. Required.
+	Rate int
+	// StepDuration is the wall-clock length of one model step.
+	// Defaults to 40ms (25 frames/second).
+	StepDuration time.Duration
+	// MaxDelay caps the smoothing delay the server will grant, in steps.
+	// Defaults to 64.
+	MaxDelay int
+	// Policy overrides the sender's drop policy (default greedy).
+	Policy SenderConfig
+}
+
+// Serve performs the server side of a session on conn: it reads the
+// client's Hello, fixes D = min(desired, MaxDelay) and B = R·D (the
+// paper's law, additionally capped by the client's advertised buffer),
+// then paces the clip over the wire one step per StepDuration. Frame k of
+// the clip arrives at the smoothing buffer at step k. Payload bytes are
+// synthesized deterministically from the slice ID.
+//
+// Serve returns after the stream has drained and the End marker is written.
+func Serve(conn io.ReadWriter, clip *trace.Clip, weights trace.WeightMap, cfg ServeConfig) error {
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("netstream: serve rate %d", cfg.Rate)
+	}
+	if cfg.StepDuration <= 0 {
+		cfg.StepDuration = 40 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 64
+	}
+	msg, err := ReadMsg(conn)
+	if err != nil {
+		return fmt.Errorf("netstream: reading hello: %w", err)
+	}
+	if msg.Hello == nil {
+		return fmt.Errorf("netstream: expected hello, got %+v", msg)
+	}
+	delay := int(msg.Hello.DesiredDelay)
+	if delay <= 0 || delay > cfg.MaxDelay {
+		delay = cfg.MaxDelay
+	}
+	// B = R·D, but no larger than the client can buffer (Section 3.3:
+	// making only one buffer bigger does not help).
+	buffer := cfg.Rate * delay
+	if cb := int(msg.Hello.ClientBuffer); cb > 0 && buffer > cb {
+		buffer = cb / cfg.Rate * cfg.Rate
+		if buffer < cfg.Rate {
+			buffer = cfg.Rate
+		}
+		delay = buffer / cfg.Rate
+	}
+	if err := WriteAccept(conn, Accept{
+		Rate:         uint32(cfg.Rate),
+		Delay:        uint32(delay),
+		ServerBuffer: uint32(buffer),
+		StepMicros:   uint32(cfg.StepDuration / time.Microsecond),
+	}); err != nil {
+		return err
+	}
+
+	sc := SenderConfig{ServerBuffer: buffer, Rate: cfg.Rate, Delay: delay, Policy: cfg.Policy.Policy}
+	sender, err := NewSender(conn, sc)
+	if err != nil {
+		return err
+	}
+	st, err := trace.WholeFrameStream(clip, weights)
+	if err != nil {
+		return err
+	}
+
+	ticker := time.NewTicker(cfg.StepDuration)
+	defer ticker.Stop()
+	for step := 0; step <= st.Horizon(); step++ {
+		var offers []Offered
+		for _, sl := range st.ArrivalsAt(step) {
+			offers = append(offers, Offered{Slice: sl, Payload: SynthPayload(sl.ID, sl.Size)})
+		}
+		if _, err := sender.Tick(offers); err != nil {
+			return err
+		}
+		<-ticker.C
+	}
+	for !senderDone(sender) {
+		if _, err := sender.Tick(nil); err != nil {
+			return err
+		}
+		<-ticker.C
+	}
+	return WriteEnd(conn)
+}
+
+func senderDone(s *Sender) bool { return s.Backlog() == 0 }
+
+// SynthPayload deterministically fills a payload of the given size for a
+// slice ID, so receivers can verify content integrity end to end.
+func SynthPayload(id, size int) []byte {
+	p := make([]byte, size)
+	x := uint32(id)*2654435761 + 1
+	for i := range p {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		p[i] = byte(x)
+	}
+	return p
+}
+
+// PlayStats summarizes a receiving session.
+type PlayStats struct {
+	// Played is the number of complete slices delivered to the playout
+	// callback; PlayedBytes their total payload.
+	Played, PlayedBytes int
+	// Incomplete is the number of slices discarded at their deadline.
+	Incomplete int
+	// LateBytes counts payload bytes that arrived after their deadline.
+	LateBytes int
+	// MaxBuffer is the receiver's peak buffer occupancy in bytes.
+	MaxBuffer int
+	// Delay is the negotiated smoothing delay.
+	Delay int
+	// Corrupt counts played slices whose payload failed verification.
+	Corrupt int
+}
+
+// Receive performs the client side of a session on conn: it sends Hello,
+// reads Accept, then consumes data messages, anchoring its playout clock
+// at the first one (the paper's timer-based client — no clock
+// synchronization). onPlay, if non-nil, is invoked once per playout step.
+//
+// The playout clock is driven by the *message* clock rather than the wall
+// clock: frame a plays once a message with SendStep >= a+D has been seen
+// or the stream ended. On a paced sender this coincides with wall-clock
+// playout but keeps tests and tools deterministic and fast.
+func Receive(conn io.ReadWriter, clientBuffer, desiredDelay int, onPlay func(PlayEvent)) (PlayStats, error) {
+	if err := WriteHello(conn, Hello{
+		ClientBuffer: uint32(clientBuffer),
+		DesiredDelay: uint32(desiredDelay),
+	}); err != nil {
+		return PlayStats{}, err
+	}
+	msg, err := ReadMsg(conn)
+	if err != nil {
+		return PlayStats{}, err
+	}
+	if msg.Accept == nil {
+		return PlayStats{}, fmt.Errorf("netstream: expected accept, got %+v", msg)
+	}
+	delay := int(msg.Accept.Delay)
+	rcv, err := NewReceiver(delay)
+	if err != nil {
+		return PlayStats{}, err
+	}
+	stats := PlayStats{Delay: delay}
+	playUpTo := -1
+	flush := func(step int) {
+		for playUpTo < step {
+			playUpTo++
+			ev := rcv.Play(playUpTo)
+			for _, sl := range ev.Slices {
+				stats.Played++
+				stats.PlayedBytes += sl.Size
+				if !bytesEqual(sl.Payload, SynthPayload(sl.ID, sl.Size)) {
+					stats.Corrupt++
+				}
+			}
+			stats.Incomplete += ev.Incomplete
+			if onPlay != nil && (len(ev.Slices) > 0 || ev.Incomplete > 0) {
+				onPlay(ev)
+			}
+		}
+	}
+	for {
+		msg, err := ReadMsg(conn)
+		if err != nil {
+			return stats, fmt.Errorf("netstream: mid-stream: %w", err)
+		}
+		if msg.End {
+			break
+		}
+		if msg.Data == nil {
+			return stats, fmt.Errorf("netstream: unexpected message %+v", msg)
+		}
+		// All frames whose deadline precedes this send step are due.
+		flush(int(msg.Data.SendStep) - 1)
+		if err := rcv.Ingest(msg.Data); err != nil {
+			return stats, err
+		}
+	}
+	// Stream over: everything buffered is due.
+	maxFrame := -1
+	for a := range rcv.byFrame {
+		if a > maxFrame {
+			maxFrame = a
+		}
+	}
+	flush(maxFrame + delay)
+	stats.LateBytes = rcv.LateBytes()
+	stats.MaxBuffer = rcv.MaxOccupancy()
+	return stats, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OfferStream converts a stream plus payload function into per-step offers;
+// a convenience for tests and tools driving a Sender manually.
+func OfferStream(st *stream.Stream, step int, payload func(stream.Slice) []byte) []Offered {
+	var out []Offered
+	for _, sl := range st.ArrivalsAt(step) {
+		out = append(out, Offered{Slice: sl, Payload: payload(sl)})
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package offline_test
+
+import (
+	"fmt"
+
+	"repro/internal/offline"
+	"repro/internal/stream"
+)
+
+// ExampleOptimalUnit computes the exact maximum-weight schedule for a burst
+// of unit slices through a small buffer.
+func ExampleOptimalUnit() {
+	b := stream.NewBuilder()
+	for _, w := range []float64{5, 1, 9, 7, 3} {
+		b.Add(0, 1, w)
+	}
+	st := b.MustBuild()
+
+	// B=2, R=1: one slice leaves in step 0 and two fit the buffer, so the
+	// three most valuable survive.
+	res, _ := offline.OptimalUnit(st, 2, 1)
+	fmt.Printf("benefit %v with %d slices: %v\n", res.Benefit, res.Bytes, res.AcceptedIDs())
+	// Output:
+	// benefit 21 with 3 slices: [0 2 3]
+}
+
+// ExampleOptimalFrames handles atomic slices of different sizes: a large
+// cheap frame competes with small valuable ones.
+func ExampleOptimalFrames() {
+	st := stream.NewBuilder().
+		Add(0, 4, 4).  // big, cheap
+		Add(0, 2, 20). // small, valuable
+		Add(1, 2, 20). // small, valuable
+		MustBuild()
+	res, _ := offline.OptimalFrames(st, 4, 1)
+	fmt.Printf("benefit %v, big frame kept: %v\n", res.Benefit, res.Accepted[0])
+	// Output:
+	// benefit 40, big frame kept: false
+}
+
+// ExampleFeasible checks whether an accepted set fits through the buffer.
+func ExampleFeasible() {
+	st := stream.NewBuilder().Add(0, 1, 1).Add(0, 1, 1).Add(0, 1, 1).MustBuild()
+	all := func(int) bool { return true }
+	fmt.Println(offline.Feasible(st, all, 2, 1)) // 1 sent, 2 stored
+	fmt.Println(offline.Feasible(st, all, 1, 1)) // 1 sent, 2 > buffer 1
+	// Output:
+	// true
+	// false
+}

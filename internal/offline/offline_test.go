@@ -1,0 +1,443 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func unitStream(rng *rand.Rand, n, horizon, maxW int) *stream.Stream {
+	b := stream.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Add(rng.Intn(horizon), 1, float64(rng.Intn(maxW)+1))
+	}
+	return b.MustBuild()
+}
+
+func varStream(rng *rand.Rand, n, horizon, maxSize, maxW int) *stream.Stream {
+	b := stream.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.Add(rng.Intn(horizon), rng.Intn(maxSize)+1, float64(rng.Intn(maxW)+1))
+	}
+	return b.MustBuild()
+}
+
+func TestFeasibleBasics(t *testing.T) {
+	st := stream.NewBuilder().
+		Add(0, 1, 1).Add(0, 1, 1).Add(0, 1, 1).
+		MustBuild()
+	all := func(int) bool { return true }
+	if !Feasible(st, all, 2, 1) {
+		t.Error("3 unit slices, B=2 R=1: send 1, keep 2 — should be feasible")
+	}
+	if Feasible(st, all, 1, 1) {
+		t.Error("3 unit slices, B=1 R=1 should overflow")
+	}
+	if Feasible(st, all, 0, 1) || Feasible(st, all, 1, 0) {
+		t.Error("non-positive parameters accepted")
+	}
+	none := func(int) bool { return false }
+	if !Feasible(st, none, 1, 1) {
+		t.Error("empty set must be feasible")
+	}
+}
+
+func TestFeasibleRejectsOversizeSlice(t *testing.T) {
+	st := stream.NewBuilder().Add(0, 5, 5).MustBuild()
+	if Feasible(st, func(int) bool { return true }, 4, 10) {
+		t.Error("slice larger than B accepted")
+	}
+	if !Feasible(st, func(int) bool { return true }, 5, 1) {
+		t.Error("slice of exactly B rejected")
+	}
+}
+
+func TestBruteForceTiny(t *testing.T) {
+	// Two heavy slices conflict with one light one.
+	st := stream.NewBuilder().
+		Add(0, 1, 1).
+		Add(0, 1, 10).
+		Add(0, 1, 10).
+		MustBuild()
+	// B=1, R=1: send one at step 0, keep one; third must go.
+	res, err := BruteForce(st, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit != 20 {
+		t.Errorf("benefit = %v, want 20", res.Benefit)
+	}
+	if res.Accepted[0] {
+		t.Error("brute force kept the light slice over a heavy one")
+	}
+	if res.Bytes != 2 {
+		t.Errorf("bytes = %d, want 2", res.Bytes)
+	}
+	if ids := res.AcceptedIDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("AcceptedIDs = %v, want [1 2]", ids)
+	}
+}
+
+func TestBruteForceRefusesLargeInput(t *testing.T) {
+	b := stream.NewBuilder()
+	for i := 0; i < 25; i++ {
+		b.Add(0, 1, 1)
+	}
+	if _, err := BruteForce(b.MustBuild(), 1, 1); err == nil {
+		t.Error("brute force accepted 25 slices")
+	}
+	if _, err := BruteForce(stream.NewBuilder().MustBuild(), 0, 1); err == nil {
+		t.Error("brute force accepted B=0")
+	}
+}
+
+func TestOptimalUnitRequiresUnitSlices(t *testing.T) {
+	st := stream.NewBuilder().Add(0, 2, 2).MustBuild()
+	if _, err := OptimalUnit(st, 2, 1); err == nil {
+		t.Error("OptimalUnit accepted a size-2 slice")
+	}
+}
+
+func TestOptimalUnitEmpty(t *testing.T) {
+	res, err := OptimalUnit(stream.NewBuilder().MustBuild(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit != 0 || res.Bytes != 0 {
+		t.Errorf("empty stream optimal = %+v", res)
+	}
+}
+
+func TestOptimalUnitSmoke(t *testing.T) {
+	// Burst of 5, B=2, R=1: step 0 sends 1, keeps 2 -> 3 acceptable.
+	b := stream.NewBuilder()
+	weights := []float64{5, 1, 9, 7, 3}
+	for _, w := range weights {
+		b.Add(0, 1, w)
+	}
+	st := b.MustBuild()
+	res, err := OptimalUnit(st, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit != 21 { // 9+7+5
+		t.Errorf("benefit = %v, want 21", res.Benefit)
+	}
+	if res.Bytes != 3 {
+		t.Errorf("bytes = %d, want 3", res.Bytes)
+	}
+}
+
+func TestOptimalUnitMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := unitStream(rng, rng.Intn(12)+1, rng.Intn(6)+1, 20)
+		B := rng.Intn(5) + 1
+		R := rng.Intn(3) + 1
+		got, err := OptimalUnit(st, B, R)
+		if err != nil {
+			return false
+		}
+		want, err := BruteForce(st, B, R)
+		if err != nil {
+			return false
+		}
+		if math.Abs(got.Benefit-want.Benefit) > 1e-9 {
+			t.Logf("seed %d: unit greedy %v != brute force %v (B=%d R=%d)",
+				seed, got.Benefit, want.Benefit, B, R)
+			return false
+		}
+		// The accepted set itself must be feasible.
+		return Feasible(st, func(id int) bool { return got.Accepted[id] }, B, R)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalUnitMatchesBruteForceNonDivisible(t *testing.T) {
+	// Exercise B not divisible by R specifically.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := unitStream(rng, rng.Intn(10)+1, rng.Intn(5)+1, 10)
+		R := rng.Intn(3) + 2
+		B := R*(rng.Intn(3)+1) + 1 + rng.Intn(R-1) // ensures R does not divide B
+		got, err := OptimalUnit(st, B, R)
+		if err != nil {
+			return false
+		}
+		want, err := BruteForce(st, B, R)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Benefit-want.Benefit) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalFramesMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := varStream(rng, rng.Intn(10)+1, rng.Intn(6)+1, 4, 20)
+		B := rng.Intn(8) + 1
+		R := rng.Intn(4) + 1
+		got, err := OptimalFrames(st, B, R)
+		if err != nil {
+			return false
+		}
+		want, err := BruteForce(st, B, R)
+		if err != nil {
+			return false
+		}
+		if math.Abs(got.Benefit-want.Benefit) > 1e-9 {
+			t.Logf("seed %d: frames DP %v != brute force %v (B=%d R=%d)",
+				seed, got.Benefit, want.Benefit, B, R)
+			return false
+		}
+		// Reconstructed set must be feasible and match the benefit.
+		var w float64
+		bytes := 0
+		for id, ok := range got.Accepted {
+			if ok {
+				w += st.Slice(id).Weight
+				bytes += st.Slice(id).Size
+			}
+		}
+		if math.Abs(w-got.Benefit) > 1e-9 || bytes != got.Bytes {
+			t.Logf("seed %d: backtrack mismatch: set weight %v benefit %v bytes %d/%d",
+				seed, w, got.Benefit, bytes, got.Bytes)
+			return false
+		}
+		return Feasible(st, func(id int) bool { return got.Accepted[id] }, B, R)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalFramesAgreesWithOptimalUnitOnUnitStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := unitStream(rng, rng.Intn(40)+1, rng.Intn(10)+1, 30)
+		B := rng.Intn(10) + 1
+		R := rng.Intn(4) + 1
+		a, err := OptimalUnit(st, B, R)
+		if err != nil {
+			return false
+		}
+		b, err := OptimalFrames(st, B, R)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.Benefit-b.Benefit) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalFramesOversizeSliceRejected(t *testing.T) {
+	st := stream.NewBuilder().Add(0, 10, 100).Add(0, 1, 1).MustBuild()
+	res, err := OptimalFrames(st, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted[0] {
+		t.Error("oversize slice accepted")
+	}
+	if !res.Accepted[1] {
+		t.Error("fitting slice rejected")
+	}
+	if res.Benefit != 1 {
+		t.Errorf("benefit = %v, want 1", res.Benefit)
+	}
+}
+
+func TestOptimalFramesEmpty(t *testing.T) {
+	res, err := OptimalFrames(stream.NewBuilder().MustBuild(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benefit != 0 {
+		t.Errorf("empty optimal benefit = %v", res.Benefit)
+	}
+}
+
+func TestOptimalFramesErrors(t *testing.T) {
+	st := stream.NewBuilder().Add(0, 1, 1).MustBuild()
+	if _, err := OptimalFrames(st, 0, 1); err == nil {
+		t.Error("B=0 accepted")
+	}
+	if _, err := OptimalFrames(st, 1, 0); err == nil {
+		t.Error("R=0 accepted")
+	}
+	if _, err := OptimalUnit(st, 0, 1); err == nil {
+		t.Error("OptimalUnit B=0 accepted")
+	}
+}
+
+func TestOptimalMonotoneInBuffer(t *testing.T) {
+	// Property: benefit is non-decreasing in B and in R.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := varStream(rng, rng.Intn(12)+1, rng.Intn(6)+1, 3, 10)
+		B := rng.Intn(6) + 1
+		R := rng.Intn(3) + 1
+		a, err := OptimalFrames(st, B, R)
+		if err != nil {
+			return false
+		}
+		b, err := OptimalFrames(st, B+1, R)
+		if err != nil {
+			return false
+		}
+		c, err := OptimalFrames(st, B, R+1)
+		if err != nil {
+			return false
+		}
+		return b.Benefit >= a.Benefit-1e-9 && c.Benefit >= a.Benefit-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRiseTree(t *testing.T) {
+	// Directly exercise the segment tree: array [3, 1, 4, 1, 5].
+	vals := []int64{3, 1, 4, 1, 5}
+	tr := newRiseTree(len(vals), func(i int) int64 { return vals[i] })
+	if got := tr.maxRise(); got != 4 { // 5 - 1
+		t.Errorf("maxRise = %d, want 4", got)
+	}
+	tr.addSuffix(4, -10)               // [3,1,4,1,-5]
+	if got := tr.maxRise(); got != 3 { // 4 - 1
+		t.Errorf("maxRise after suffix add = %d, want 3", got)
+	}
+	tr.addSuffix(0, 100) // uniform shift: rise unchanged
+	if got := tr.maxRise(); got != 3 {
+		t.Errorf("maxRise after uniform shift = %d, want 3", got)
+	}
+	tr.addSuffix(5, 7) // out of range: no-op
+	if got := tr.maxRise(); got != 3 {
+		t.Errorf("maxRise after no-op = %d, want 3", got)
+	}
+}
+
+func TestRiseTreeSingleElement(t *testing.T) {
+	tr := newRiseTree(1, func(int) int64 { return 42 })
+	if tr.maxRise() >= 0 {
+		t.Errorf("single-element maxRise = %d, want very negative", tr.maxRise())
+	}
+}
+
+func TestRiseTreeRandomAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 2
+		arr := make([]int64, n)
+		for i := range arr {
+			arr[i] = int64(rng.Intn(41) - 20)
+		}
+		tr := newRiseTree(n, func(i int) int64 { return arr[i] })
+		for op := 0; op < 20; op++ {
+			from := rng.Intn(n)
+			v := int64(rng.Intn(11) - 5)
+			tr.addSuffix(from, v)
+			for i := from; i < n; i++ {
+				arr[i] += v
+			}
+			want := int64(math.MinInt64 / 4)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if r := arr[j] - arr[i]; r > want {
+						want = r
+					}
+				}
+			}
+			if got := tr.maxRise(); got != want {
+				t.Logf("seed %d op %d: tree %d naive %d", seed, op, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	st := unitStream(rng, 20, 6, 10)
+	res, err := OptimalUnit(st, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(st, res, 4, 2); err != nil {
+		t.Errorf("genuine result rejected: %v", err)
+	}
+	// Tampering is detected.
+	bad := *res
+	bad.Benefit += 1
+	if err := Verify(st, &bad, 4, 2); err == nil {
+		t.Error("tampered benefit accepted")
+	}
+	bad = *res
+	bad.Bytes++
+	if err := Verify(st, &bad, 4, 2); err == nil {
+		t.Error("tampered bytes accepted")
+	}
+	if err := Verify(st, nil, 4, 2); err == nil {
+		t.Error("nil result accepted")
+	}
+	short := &Result{Accepted: make([]bool, 1)}
+	if err := Verify(st, short, 4, 2); err == nil {
+		t.Error("short accepted vector accepted")
+	}
+	// An infeasible set is detected: accept everything on a tiny buffer.
+	all := &Result{Accepted: make([]bool, st.Len())}
+	for i := range all.Accepted {
+		all.Accepted[i] = true
+		all.Benefit += st.Slice(i).Weight
+		all.Bytes += st.Slice(i).Size
+	}
+	if err := Verify(st, all, 1, 1); err == nil {
+		t.Error("infeasible set accepted")
+	}
+}
+
+func TestVerifyAllOptima(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := varStream(rng, rng.Intn(12)+1, rng.Intn(6)+1, 3, 10)
+		B := rng.Intn(8) + st.MaxSliceSize()
+		R := rng.Intn(3) + 1
+		res, err := OptimalFrames(st, B, R)
+		if err != nil {
+			return false
+		}
+		if err := Verify(st, res, B, R); err != nil {
+			t.Logf("seed %d frames: %v", seed, err)
+			return false
+		}
+		if st.UnitSliced() {
+			res, err = OptimalUnit(st, B, R)
+			if err != nil {
+				return false
+			}
+			if err := Verify(st, res, B, R); err != nil {
+				t.Logf("seed %d unit: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

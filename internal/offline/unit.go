@@ -1,0 +1,196 @@
+package offline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// OptimalUnit returns the maximum-benefit accepted set for a stream of
+// unit-size slices through a server buffer of capacity B drained at rate R.
+//
+// Feasible accepted sets form a matroid (for B = R·D they are exactly the
+// transversal matroid of unit jobs with send windows [a, a+D] on R parallel
+// slots per step), so sorting slices by weight and accepting each one whose
+// addition keeps the set feasible is optimal. The feasibility condition is
+// the interval constraint family
+//
+//	for every [t1, t2]:  accepted arrivals in [t1, t2] <= R·(t2-t1+1) + B,
+//
+// which is maintained incrementally with a segment tree over the prefix
+// function H[i] = N(i-1) - R·i (N = accepted-arrival counting function):
+// the set is feasible iff max over i<j of H[j]-H[i] <= B. Accepting a slice
+// with arrival a adds 1 to H[i] for all i > a; the tree supports suffix
+// add, rollback, and the max-rise query in O(log T).
+//
+// Total time O(n log n + n log T); exact (cross-validated against
+// BruteForce in the tests).
+func OptimalUnit(st *stream.Stream, B, R int) (*Result, error) {
+	if !st.UnitSliced() {
+		return nil, fmt.Errorf("offline: OptimalUnit requires unit-size slices (Lmax=%d); use OptimalFrames or Explode", st.MaxSliceSize())
+	}
+	if B <= 0 || R <= 0 {
+		return nil, fmt.Errorf("offline: non-positive B=%d or R=%d", B, R)
+	}
+	res := &Result{Accepted: make([]bool, st.Len())}
+	if st.Len() == 0 {
+		return res, nil
+	}
+
+	// Sort slice IDs by weight descending; ties by arrival then ID for
+	// determinism (any tie-break yields the same total benefit, by the
+	// matroid exchange property).
+	order := make([]int, st.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := st.Slice(order[x]), st.Slice(order[y])
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		return a.ID < b.ID
+	})
+
+	// H is indexed by i in [0, horizon+1]; H[i] = N(i-1) - R*i starts at
+	// -R*i with N = 0.
+	size := st.Horizon() + 2
+	tree := newRiseTree(size, func(i int) int64 { return -int64(R) * int64(i) })
+
+	limit := int64(B)
+	for _, id := range order {
+		a := st.Slice(id).Arrival
+		tree.addSuffix(a+1, 1)
+		if tree.maxRise() <= limit {
+			res.Accepted[id] = true
+			res.Benefit += st.Slice(id).Weight
+			res.Bytes++
+		} else {
+			tree.addSuffix(a+1, -1) // rollback
+		}
+	}
+	return res, nil
+}
+
+// riseTree is a segment tree over an int64 array supporting suffix add and
+// the query max over i<j of a[j]-a[i] ("best rise").
+type riseTree struct {
+	n    int // number of real leaves
+	base int // power-of-two leaf count
+	lo   []int64
+	hi   []int64
+	rise []int64
+	lazy []int64
+}
+
+const (
+	negInf = math.MinInt64 / 4
+	posInf = math.MaxInt64 / 4
+)
+
+func newRiseTree(n int, init func(i int) int64) *riseTree {
+	base := 1
+	for base < n {
+		base <<= 1
+	}
+	t := &riseTree{
+		n:    n,
+		base: base,
+		lo:   make([]int64, 2*base),
+		hi:   make([]int64, 2*base),
+		rise: make([]int64, 2*base),
+		lazy: make([]int64, 2*base),
+	}
+	for i := 0; i < base; i++ {
+		node := base + i
+		if i < n {
+			v := init(i)
+			t.lo[node], t.hi[node], t.rise[node] = v, v, negInf
+		} else {
+			t.lo[node], t.hi[node], t.rise[node] = posInf, negInf, negInf
+		}
+	}
+	for node := base - 1; node >= 1; node-- {
+		t.pull(node)
+	}
+	return t
+}
+
+func (t *riseTree) pull(node int) {
+	l, r := 2*node, 2*node+1
+	t.lo[node] = min64(t.lo[l], t.lo[r])
+	t.hi[node] = max64(t.hi[l], t.hi[r])
+	cross := int64(negInf)
+	if t.hi[r] != negInf && t.lo[l] != posInf {
+		cross = t.hi[r] - t.lo[l]
+	}
+	t.rise[node] = max64(max64(t.rise[l], t.rise[r]), cross)
+}
+
+func (t *riseTree) applyAdd(node int, v int64) {
+	if t.lo[node] != posInf {
+		t.lo[node] += v
+	}
+	if t.hi[node] != negInf {
+		t.hi[node] += v
+	}
+	// rise is invariant under a uniform shift.
+	t.lazy[node] += v
+}
+
+func (t *riseTree) push(node int) {
+	if t.lazy[node] != 0 {
+		t.applyAdd(2*node, t.lazy[node])
+		t.applyAdd(2*node+1, t.lazy[node])
+		t.lazy[node] = 0
+	}
+}
+
+// addSuffix adds v to every element with index >= from.
+func (t *riseTree) addSuffix(from int, v int64) {
+	if from >= t.n {
+		return
+	}
+	if from < 0 {
+		from = 0
+	}
+	t.addRange(1, 0, t.base-1, from, t.base-1, v)
+}
+
+func (t *riseTree) addRange(node, nodeLo, nodeHi, lo, hi int, v int64) {
+	if hi < nodeLo || nodeHi < lo {
+		return
+	}
+	if lo <= nodeLo && nodeHi <= hi {
+		t.applyAdd(node, v)
+		return
+	}
+	t.push(node)
+	mid := (nodeLo + nodeHi) / 2
+	t.addRange(2*node, nodeLo, mid, lo, hi, v)
+	t.addRange(2*node+1, mid+1, nodeHi, lo, hi, v)
+	t.pull(node)
+}
+
+// maxRise returns max over i<j of a[j]-a[i], or a very negative value when
+// the array has fewer than two elements.
+func (t *riseTree) maxRise() int64 { return t.rise[1] }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

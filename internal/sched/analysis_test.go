@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRateStats(t *testing.T) {
+	s := legalSchedule(t)
+	// SentPerStep = {1, 1, 0}: active period is steps 0..1.
+	rs := s.RateStats()
+	if rs.Mean != 1 || rs.StdDev != 0 || rs.CV != 0 {
+		t.Errorf("RateStats = %+v, want mean 1, sd 0", rs)
+	}
+	if rs.Peak != 1 {
+		t.Errorf("Peak = %d", rs.Peak)
+	}
+	if rs.Utilization != 1 {
+		t.Errorf("Utilization = %v, want 1 (rate 1 fully used)", rs.Utilization)
+	}
+}
+
+func TestRateStatsIdle(t *testing.T) {
+	s := legalSchedule(t)
+	s.SentPerStep = []int{0, 0, 0}
+	rs := s.RateStats()
+	if rs.Mean != 0 || rs.Peak != 0 || rs.CV != 0 {
+		t.Errorf("idle RateStats = %+v", rs)
+	}
+}
+
+func TestRateStatsVariable(t *testing.T) {
+	s := legalSchedule(t)
+	s.SentPerStep = []int{0, 2, 0, 4, 0} // active period 1..3: {2, 0, 4}
+	rs := s.RateStats()
+	if rs.Mean != 2 {
+		t.Errorf("Mean = %v, want 2", rs.Mean)
+	}
+	if rs.Peak != 4 {
+		t.Errorf("Peak = %d, want 4", rs.Peak)
+	}
+	if rs.CV <= 0 {
+		t.Errorf("CV = %v, want positive", rs.CV)
+	}
+}
+
+func TestDropsPerStep(t *testing.T) {
+	s := legalSchedule(t)
+	drops := s.DropsPerStep()
+	// Slice 2 (size 2) dropped at step 1.
+	if len(drops) != 3 || drops[0] != 0 || drops[1] != 2 || drops[2] != 0 {
+		t.Errorf("DropsPerStep = %v", drops)
+	}
+}
+
+func TestDropsPerStepClamping(t *testing.T) {
+	s := legalSchedule(t)
+	s.Outcomes[2].DropTime = 99 // beyond the horizon: folded into the last step
+	drops := s.DropsPerStep()
+	if drops[2] != 2 {
+		t.Errorf("out-of-range drop not folded: %v", drops)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	s := legalSchedule(t)
+	out := s.Timeline(20, 4)
+	if !strings.Contains(out, "#") {
+		t.Errorf("timeline has no occupancy marks:\n%s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Errorf("timeline does not mark the drop step:\n%s", out)
+	}
+	if !strings.Contains(out, "over 3 steps") {
+		t.Errorf("timeline header wrong:\n%s", out)
+	}
+	// Defaults and empty schedule.
+	empty := &Schedule{Params: s.Params, Stream: s.Stream}
+	if got := empty.Timeline(0, 0); !strings.Contains(got, "empty") {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
+
+func TestReport(t *testing.T) {
+	s := legalSchedule(t)
+	rep := s.Report()
+	for _, want := range []string{"algorithm:", "B=2", "weighted loss", "server 1", "utilization"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	s := legalSchedule(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	slices := decoded["slices"].([]any)
+	if len(slices) != 3 {
+		t.Fatalf("exported %d slices", len(slices))
+	}
+	first := slices[0].(map[string]any)
+	if first["sendStart"].(float64) != 0 {
+		t.Errorf("slice 0 sendStart = %v", first["sendStart"])
+	}
+	third := slices[2].(map[string]any)
+	if third["playTime"] != nil {
+		t.Errorf("dropped slice has playTime %v", third["playTime"])
+	}
+	if third["dropSite"].(string) != "server" {
+		t.Errorf("dropSite = %v", third["dropSite"])
+	}
+	metrics := decoded["metrics"].(map[string]any)
+	if metrics["benefit"].(float64) != 8 {
+		t.Errorf("benefit = %v", metrics["benefit"])
+	}
+	series := decoded["series"].(map[string]any)
+	if len(series["sentPerStep"].([]any)) != 3 {
+		t.Errorf("series length wrong")
+	}
+}

@@ -1,0 +1,46 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/drop"
+	"repro/internal/stream"
+)
+
+// Example inspects the schedule a simulation produces: per-slice fates,
+// aggregate metrics, and the model validator.
+func Example() {
+	st := stream.NewBuilder().
+		Add(0, 1, 1).Add(0, 1, 1).Add(0, 1, 9).
+		MustBuild()
+	s, _ := core.Simulate(st, core.Config{ServerBuffer: 1, Rate: 1, Policy: drop.Greedy})
+
+	fmt.Printf("valid: %v\n", s.Validate() == nil)
+	fmt.Printf("benefit %v of %v (weighted loss %.0f%%)\n",
+		s.Benefit(), st.TotalWeight(), 100*s.WeightedLoss())
+	for id, o := range s.Outcomes {
+		switch {
+		case o.Played():
+			fmt.Printf("slice %d: played at %d\n", id, o.PlayTime)
+		default:
+			fmt.Printf("slice %d: dropped at %d (%s)\n", id, o.DropTime, o.DropSite)
+		}
+	}
+	// Output:
+	// valid: true
+	// benefit 10 of 11 (weighted loss 9%)
+	// slice 0: played at 1
+	// slice 1: dropped at 0 (server)
+	// slice 2: played at 1
+}
+
+// Example_rateStats summarizes the transmission-rate process.
+func Example_rateStats() {
+	st := stream.NewBuilder().AddFrame(0, 1, 1, 1, 1).MustBuild()
+	s, _ := core.Simulate(st, core.Config{ServerBuffer: 4, Rate: 2})
+	rs := s.RateStats()
+	fmt.Printf("mean %.0f, peak %d, utilization %.0f%%\n", rs.Mean, rs.Peak, 100*rs.Utilization)
+	// Output:
+	// mean 2, peak 2, utilization 100%
+}

@@ -1,0 +1,297 @@
+package sched
+
+import (
+	"fmt"
+)
+
+// ValidationError describes a single violation of the schedule model found
+// by Validate.
+type ValidationError struct {
+	Rule   string // short identifier of the violated rule
+	Detail string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("sched: invalid schedule: %s: %s", e.Rule, e.Detail)
+}
+
+func violation(rule, format string, args ...any) error {
+	return &ValidationError{Rule: rule, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks that the recorded schedule is a legal real-time smoothing
+// schedule per Section 2 of the paper:
+//
+//   - shape: per-slice outcomes and per-step series are present and
+//     consistent in length;
+//   - fate: every slice is either played or dropped, never both;
+//   - causality: nothing is sent or dropped before it arrives;
+//   - no preemption: a server-dropped slice has no send span, and a slice
+//     that started sending finishes;
+//   - link rate: at most Rate bytes are sent per step, and the recorded
+//     SentPerStep is exactly accounted for by the slices' send spans;
+//   - FIFO: bytes enter the link in slice-ID order with non-overlapping
+//     send spans;
+//   - buffers: independently recomputed server and client occupancies match
+//     the recorded series and never exceed capacity;
+//   - real-time: every played slice has PlayTime = Arrival + LinkDelay +
+//     Delay and its last byte is received no later than that.
+//
+// Validate returns nil if the schedule is legal, or the first violation
+// found.
+func (s *Schedule) Validate() error {
+	if s.Stream == nil {
+		return violation("shape", "nil stream")
+	}
+	if err := s.Params.Validate(); err != nil {
+		return err
+	}
+	n := s.Stream.Len()
+	if len(s.Outcomes) != n {
+		return violation("shape", "have %d outcomes for %d slices", len(s.Outcomes), n)
+	}
+	if len(s.ServerOcc) != len(s.SentPerStep) || len(s.ClientOcc) != len(s.SentPerStep) {
+		return violation("shape", "series lengths differ: sent=%d serverOcc=%d clientOcc=%d",
+			len(s.SentPerStep), len(s.ServerOcc), len(s.ClientOcc))
+	}
+	if err := s.validateOutcomes(len(s.SentPerStep)); err != nil {
+		return err
+	}
+	if err := s.validateFIFO(); err != nil {
+		return err
+	}
+	return s.validateSeries()
+}
+
+func (s *Schedule) validateOutcomes(T int) error {
+	for id := 0; id < s.Stream.Len(); id++ {
+		o := s.Outcomes[id]
+		sl := s.Stream.Slice(id)
+		played, dropped := o.Played(), o.Dropped()
+		if played == dropped {
+			return violation("fate", "slice %d: played=%v dropped=%v (exactly one required)", id, played, dropped)
+		}
+		if dropped != (o.DropSite != SiteNone) {
+			return violation("fate", "slice %d: dropped=%v but drop site %q", id, dropped, o.DropSite)
+		}
+		if (o.SendStart == None) != (o.SendEnd == None) {
+			return violation("preemption", "slice %d: half-open send span [%d,%d]", id, o.SendStart, o.SendEnd)
+		}
+		if o.SendStart != None {
+			if o.SendStart < sl.Arrival {
+				return violation("causality", "slice %d sent at %d before arrival %d", id, o.SendStart, sl.Arrival)
+			}
+			if o.SendEnd < o.SendStart {
+				return violation("causality", "slice %d send span [%d,%d] inverted", id, o.SendStart, o.SendEnd)
+			}
+			if o.SendEnd >= T {
+				return violation("shape", "slice %d send end %d beyond recorded horizon %d", id, o.SendEnd, T-1)
+			}
+		}
+		if dropped {
+			if o.DropSite == SiteServer && o.SendStart != None {
+				return violation("preemption", "slice %d server-dropped at %d after transmission started at %d",
+					id, o.DropTime, o.SendStart)
+			}
+			if o.DropTime < sl.Arrival {
+				return violation("causality", "slice %d dropped at %d before arrival %d", id, o.DropTime, sl.Arrival)
+			}
+			continue
+		}
+		// Played slice.
+		if o.SendStart == None {
+			return violation("causality", "slice %d played but has no send span", id)
+		}
+		if got, want := o.PlayTime, sl.Arrival+s.Params.LinkDelay+s.Params.Delay; got != want {
+			return violation("real-time", "slice %d played at %d, want arrival+P+D = %d", id, got, want)
+		}
+		if o.SendEnd+s.Params.LinkDelay > o.PlayTime {
+			return violation("underflow", "slice %d last byte received at %d after play time %d",
+				id, o.SendEnd+s.Params.LinkDelay, o.PlayTime)
+		}
+	}
+	return nil
+}
+
+// validateFIFO checks that transmitted slices (played or client-dropped)
+// enter the link in ID order with non-overlapping send spans. Adjacent
+// slices may share a boundary step.
+func (s *Schedule) validateFIFO() error {
+	prev := -1
+	prevEnd := -1
+	for id := 0; id < s.Stream.Len(); id++ {
+		o := s.Outcomes[id]
+		if o.SendStart == None {
+			continue
+		}
+		if o.SendStart < prevEnd {
+			return violation("fifo", "slice %d starts sending at %d before slice %d finishes at %d",
+				id, o.SendStart, prev, prevEnd)
+		}
+		prev, prevEnd = id, o.SendEnd
+	}
+	return nil
+}
+
+// validateSeries replays the byte flow implied by the outcomes and the
+// recorded SentPerStep, and cross-checks the recorded occupancy series and
+// the capacity limits.
+func (s *Schedule) validateSeries() error {
+	T := len(s.SentPerStep)
+	serverOcc := make([]int, T)
+	clientOcc := make([]int, T)
+
+	// Static server residency: every slice occupies the server buffer from
+	// its arrival until it starts transmission, is dropped by the server,
+	// or the schedule ends (which would itself be a conservation bug,
+	// caught below).
+	for id := 0; id < s.Stream.Len(); id++ {
+		o := s.Outcomes[id]
+		sl := s.Stream.Slice(id)
+		until := T
+		switch {
+		case o.DropSite == SiteServer:
+			until = o.DropTime
+		case o.SendStart != None:
+			until = o.SendStart
+		}
+		for t := sl.Arrival; t < until && t < T; t++ {
+			serverOcc[t] += sl.Size
+		}
+	}
+
+	// Replay the link input in FIFO order. queue holds transmitted slices
+	// (played or client-dropped) by ID; the recorded SentPerStep dictates
+	// how many bytes leave per step.
+	type pending struct {
+		id        int
+		remaining int
+		started   bool
+	}
+	var queue []pending
+	for id := 0; id < s.Stream.Len(); id++ {
+		if s.Outcomes[id].SendStart != None {
+			queue = append(queue, pending{id: id, remaining: s.Stream.Slice(id).Size})
+		}
+	}
+	qi := 0
+	// receivedAt[t] lists (sliceID, byteCount) batches delivered at step t.
+	type batch struct{ id, n int }
+	receivedAt := make([][]batch, T)
+	for t := 0; t < T; t++ {
+		if s.SentPerStep[t] < 0 || s.SentPerStep[t] > s.Params.Rate {
+			return violation("rate", "step %d sends %d bytes, rate is %d", t, s.SentPerStep[t], s.Params.Rate)
+		}
+		budget := s.SentPerStep[t]
+		for budget > 0 {
+			if qi >= len(queue) {
+				return violation("conservation", "step %d sends %d bytes beyond transmitted slices", t, budget)
+			}
+			p := &queue[qi]
+			o := s.Outcomes[p.id]
+			if !p.started {
+				if o.SendStart != t {
+					return violation("span", "slice %d first byte actually sent at %d, recorded SendStart=%d",
+						p.id, t, o.SendStart)
+				}
+				p.started = true
+			}
+			n := p.remaining
+			if n > budget {
+				n = budget
+			}
+			p.remaining -= n
+			budget -= n
+			if rt := t + s.Params.LinkDelay; rt < T {
+				receivedAt[rt] = append(receivedAt[rt], batch{p.id, n})
+			} else if s.Outcomes[p.id].Played() {
+				return violation("shape", "slice %d bytes received at %d beyond recorded horizon", p.id, t+s.Params.LinkDelay)
+			}
+			if p.remaining == 0 {
+				if o.SendEnd != t {
+					return violation("span", "slice %d last byte actually sent at %d, recorded SendEnd=%d",
+						p.id, t, o.SendEnd)
+				}
+				qi++
+			} else {
+				// Partially-sent slice: its residue occupies the server
+				// buffer at the end of this step.
+				serverOcc[t] += p.remaining
+				break // budget exhausted by construction (n == budget)
+			}
+		}
+		// A slice mid-transmission whose step sent zero of its bytes
+		// (budget was 0) still occupies the buffer.
+		if budget == 0 && qi < len(queue) && queue[qi].started && queue[qi].remaining > 0 && s.SentPerStep[t] == 0 {
+			serverOcc[t] += queue[qi].remaining
+		}
+	}
+	if qi != len(queue) {
+		return violation("conservation", "%d transmitted slices have unsent bytes at end of schedule", len(queue)-qi)
+	}
+
+	for t := 0; t < T; t++ {
+		if serverOcc[t] != s.ServerOcc[t] {
+			return violation("server-occ", "step %d recomputed server occupancy %d != recorded %d",
+				t, serverOcc[t], s.ServerOcc[t])
+		}
+		if serverOcc[t] > s.Params.ServerBuffer {
+			return violation("server-capacity", "step %d server occupancy %d exceeds B=%d",
+				t, serverOcc[t], s.Params.ServerBuffer)
+		}
+	}
+
+	// Client occupancy. A byte delivered at step t is counted from the end
+	// of step t until its slice is played or dropped by the client; bytes
+	// delivered at or after the slice's client-drop step are discarded on
+	// arrival and never counted.
+	occ := 0
+	buffered := make(map[int]int, 64) // sliceID -> bytes currently held
+	for t := 0; t < T; t++ {
+		for _, b := range receivedAt[t] {
+			o := s.Outcomes[b.id]
+			if o.DropSite == SiteClient && t >= o.DropTime {
+				continue // discarded on arrival
+			}
+			buffered[b.id] += b.n
+			occ += b.n
+		}
+		// Client-side removals during step t: playouts and client drops.
+		for id, held := range buffered {
+			o := s.Outcomes[id]
+			if o.Played() && o.PlayTime == t {
+				if held != s.Stream.Slice(id).Size {
+					return violation("client-underflow", "slice %d played at %d with only %d/%d bytes received",
+						id, t, held, s.Stream.Slice(id).Size)
+				}
+				occ -= held
+				delete(buffered, id)
+			} else if o.DropSite == SiteClient && o.DropTime == t {
+				occ -= held
+				delete(buffered, id)
+			}
+		}
+		clientOcc[t] = occ
+		if clientOcc[t] != s.ClientOcc[t] {
+			return violation("client-occ", "step %d recomputed client occupancy %d != recorded %d",
+				t, clientOcc[t], s.ClientOcc[t])
+		}
+		if clientOcc[t] > s.Params.ClientBuffer {
+			return violation("client-capacity", "step %d client occupancy %d exceeds Bc=%d",
+				t, clientOcc[t], s.Params.ClientBuffer)
+		}
+	}
+	if occ != 0 {
+		return violation("conservation", "%d bytes left in client buffer at end of schedule", occ)
+	}
+
+	// Every played slice must actually have been delivered in full before
+	// its play time; verified implicitly above only if its play step is
+	// within T. Ensure the horizon covers all play steps.
+	for id := 0; id < s.Stream.Len(); id++ {
+		if o := s.Outcomes[id]; o.Played() && o.PlayTime >= T {
+			return violation("shape", "slice %d play time %d beyond recorded horizon %d", id, o.PlayTime, T-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Example builds a small weighted stream and inspects its aggregates.
+func Example() {
+	st := stream.NewBuilder().
+		Add(0, 120, 1440). // a 120-byte I frame worth 12/byte
+		Add(1, 23, 23).    // a 23-byte B frame worth 1/byte
+		Add(2, 55, 440).   // a 55-byte P frame worth 8/byte
+		MustBuild()
+
+	fmt.Printf("slices %d, bytes %d, weight %.0f\n", st.Len(), st.TotalBytes(), st.TotalWeight())
+	fmt.Printf("Lmax %d, horizon %d, avg rate %.1f\n", st.MaxSliceSize(), st.Horizon(), st.AverageRate())
+	fmt.Printf("frame at t=1: %d slice(s), byte value %.0f\n",
+		len(st.ArrivalsAt(1)), st.ArrivalsAt(1)[0].ByteValue())
+	// Output:
+	// slices 3, bytes 198, weight 1903
+	// Lmax 120, horizon 2, avg rate 66.0
+	// frame at t=1: 1 slice(s), byte value 1
+}
+
+// ExampleStream_Explode shows the reduction from atomic slices to unit
+// slices used by Lemma 3.7 and the byte-slice experiments.
+func ExampleStream_Explode() {
+	st := stream.NewBuilder().Add(0, 4, 8).MustBuild()
+	ex := st.Explode()
+	fmt.Printf("%d unit slices, each weight %.0f, total weight %.0f\n",
+		ex.Len(), ex.Slice(0).Weight, ex.TotalWeight())
+	// Output:
+	// 4 unit slices, each weight 2, total weight 8
+}

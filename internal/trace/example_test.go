@@ -1,0 +1,46 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// ExampleGenerate builds a calibrated synthetic clip and inspects the
+// statistics the paper reports for its CNN material.
+func ExampleGenerate() {
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = 1300 // 100 GOPs
+	clip, _ := trace.Generate(cfg)
+
+	counts := map[trace.FrameType]int{}
+	for _, f := range clip.Frames {
+		counts[f.Type]++
+	}
+	fmt.Printf("frames: %d (I:%d P:%d B:%d)\n", len(clip.Frames), counts[trace.I], counts[trace.P], counts[trace.B])
+	fmt.Printf("mean within paper range [33, 43]: %v\n", clip.AverageRate() >= 33 && clip.AverageRate() <= 43)
+	fmt.Printf("max frame capped at 120: %v\n", clip.MaxFrameSize() <= 120)
+	// Output:
+	// frames: 1300 (I:100 P:400 B:800)
+	// mean within paper range [33, 43]: true
+	// max frame capped at 120: true
+}
+
+// ExampleDecodability shows how a single lost anchor frame poisons its
+// dependents: the delivered-but-undecodable frames are the hidden cost of
+// value-blind dropping.
+func ExampleDecodability() {
+	clip := &trace.Clip{Frames: []trace.Frame{
+		{Index: 0, Type: trace.I, Size: 10},
+		{Index: 1, Type: trace.B, Size: 2},
+		{Index: 2, Type: trace.B, Size: 2},
+		{Index: 3, Type: trace.P, Size: 5},
+		{Index: 4, Type: trace.B, Size: 2},
+		{Index: 5, Type: trace.P, Size: 5},
+	}}
+	// Deliver everything except the first P frame.
+	stats := trace.Decodability(clip, func(i int) bool { return i != 3 })
+	fmt.Printf("delivered %d, decodable %d, poisoned %d\n", stats.Delivered, stats.Decodable, stats.Poisoned)
+	// Output:
+	// delivered 5, decodable 1, poisoned 4
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the ASCII trace parser with arbitrary input: it must
+// never panic, and anything it accepts must round-trip through Write.
+func FuzzRead(f *testing.F) {
+	f.Add("0 I 10\n1 B 2\n")
+	f.Add("# comment\n\n0 P 5\n")
+	f.Add("0 X 5\n")
+	f.Add("0 I -1\n")
+	f.Add("0 I 999999999999999999999\n")
+	f.Add("garbage")
+	f.Add("0 I 10 extra\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		clip, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, fr := range clip.Frames {
+			if fr.Size <= 0 {
+				t.Fatalf("parser accepted non-positive size: %+v", fr)
+			}
+			if !fr.Type.Valid() {
+				t.Fatalf("parser accepted invalid type: %+v", fr)
+			}
+		}
+		var buf bytes.Buffer
+		if err := clip.Write(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again.Frames) != len(clip.Frames) {
+			t.Fatalf("round trip changed frame count: %d vs %d", len(again.Frames), len(clip.Frames))
+		}
+		for i := range clip.Frames {
+			if again.Frames[i] != clip.Frames[i] {
+				t.Fatalf("frame %d changed: %+v vs %+v", i, again.Frames[i], clip.Frames[i])
+			}
+		}
+	})
+}
