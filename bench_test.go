@@ -6,6 +6,7 @@ package repro
 // core data paths.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -17,8 +18,9 @@ import (
 	"repro/internal/trace"
 )
 
-// benchExperiment runs one registered experiment per iteration.
-func benchExperiment(b *testing.B, name string) {
+// benchExperiment runs one registered experiment per iteration at a fixed
+// sweep worker count (0 = the Config default, GOMAXPROCS).
+func benchExperimentWorkers(b *testing.B, name string, workers int) {
 	b.Helper()
 	runner := experiment.All()[name]
 	if runner == nil {
@@ -26,13 +28,32 @@ func benchExperiment(b *testing.B, name string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tab, err := runner(experiment.Config{Quick: true})
+		tab, err := runner(experiment.Config{Quick: true, Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(tab.Rows) == 0 {
 			b.Fatal("empty table")
 		}
+	}
+}
+
+// benchExperiment runs one registered experiment per iteration with the
+// default worker count.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	benchExperimentWorkers(b, name, 0)
+}
+
+// BenchmarkSweepWorkers compares sequential (Workers=1) against parallel
+// (Workers=GOMAXPROCS) sweeps on representative experiments. On a 1-CPU
+// host the two run at the same speed; on multi-core hosts the parallel
+// variant should approach a core-count speedup because sweep points are
+// independent simulations.
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, name := range []string{"fig2", "brd", "muxgain", "robust"} {
+		b.Run(name+"/seq", func(b *testing.B) { benchExperimentWorkers(b, name, 1) })
+		b.Run(name+"/par", func(b *testing.B) { benchExperimentWorkers(b, name, runtime.GOMAXPROCS(0)) })
 	}
 }
 
@@ -82,6 +103,34 @@ func benchFrameStream(b *testing.B, frames int) *stream.Stream {
 		b.Fatal(err)
 	}
 	return st
+}
+
+// BenchmarkServerStep measures one server step in steady state; with the
+// reusable result buffers in core.Server and the allocation-free drop
+// policies this sits at (amortized) zero allocs/op once the backing arrays
+// have grown to the working size.
+func BenchmarkServerStep(b *testing.B) {
+	st := benchByteStream(b, 1000)
+	horizon := st.Horizon()
+	newServer := func() *core.Server {
+		return core.NewServer(480, 35, drop.NewGreedy(), core.ServerOptions{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sv := newServer()
+	t := 0
+	for i := 0; i < b.N; i++ {
+		if t > horizon && sv.Empty() {
+			// Stream exhausted and drained: restart on a fresh server so
+			// slice IDs never collide, without timing the rebuild.
+			b.StopTimer()
+			sv = newServer()
+			t = 0
+			b.StartTimer()
+		}
+		sv.Step(t, st.ArrivalsAt(t))
+		t++
+	}
 }
 
 // BenchmarkSimulate measures the full-system simulator on a byte-sliced

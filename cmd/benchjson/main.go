@@ -1,0 +1,158 @@
+// Command benchjson converts `go test -bench` text output into JSON so
+// benchmark baselines can be committed and diffed (see BENCH_quick.json).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_quick.json
+//	benchjson -in bench.txt -out BENCH_quick.json
+//
+// The converter understands the standard benchmark line format
+//
+//	BenchmarkName-8   125   9561906 ns/op   4096 B/op   12 allocs/op
+//
+// plus the goos/goarch/pkg/cpu header lines, and ignores everything else
+// (PASS, ok, test log output).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; null when absent.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the committed JSON document.
+type File struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	inPath := flag.String("in", "", "input file (default stdin)")
+	outPath := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	doc, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *outPath != "" {
+		return os.WriteFile(*outPath, buf, 0o644)
+	}
+	_, err = os.Stdout.Write(buf)
+	return err
+}
+
+// Parse reads `go test -bench` output and collects header metadata and
+// benchmark lines.
+func Parse(r io.Reader) (*File, error) {
+	doc := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine parses one benchmark result line; ok is false for lines that
+// merely start with "Benchmark" but are not results.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iter
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.NsPerOp = ns
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			res.BytesPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		}
+	}
+	return res, true
+}

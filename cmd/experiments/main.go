@@ -9,6 +9,11 @@
 //	experiments -plot                add ASCII plots
 //	experiments -csv DIR             also write one CSV per experiment
 //	experiments -quick               reduced settings (benchmark scale)
+//	experiments -workers N           sweep points per experiment run on N
+//	                                 goroutines (0 = GOMAXPROCS)
+//	experiments -parallel N          N experiments run concurrently
+//	experiments -timing              wall-time summary after the run
+//	experiments -compare             re-run sequentially, report speedups
 package main
 
 import (
@@ -16,7 +21,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/experiment"
 )
@@ -39,6 +47,9 @@ func run() error {
 		frames   = flag.Int("frames", 0, "override synthetic clip length")
 		seed     = flag.Int64("seed", 0, "override trace seed")
 		parallel = flag.Int("parallel", 1, "experiments to run concurrently (output order preserved)")
+		workers  = flag.Int("workers", 0, "sweep-point goroutines per experiment (0 = GOMAXPROCS)")
+		timing   = flag.Bool("timing", false, "print a wall-time summary after the run")
+		compare  = flag.Bool("compare", false, "after the run, re-run each experiment with 1 worker and report the speedup (implies -timing)")
 	)
 	flag.Parse()
 
@@ -67,13 +78,14 @@ func run() error {
 		}
 	}
 
-	cfg := experiment.Config{Quick: *quick, Frames: *frames, Seed: *seed}
+	cfg := experiment.Config{Quick: *quick, Frames: *frames, Seed: *seed, Workers: *workers}
 
 	// Run experiments with bounded concurrency; results print in the
 	// requested order regardless of completion order.
 	type outcome struct {
-		tab *experiment.Table
-		err error
+		tab  *experiment.Table
+		err  error
+		wall time.Duration
 	}
 	results := make([]chan outcome, len(names))
 	sem := make(chan struct{}, maxInt(*parallel, 1))
@@ -82,15 +94,18 @@ func run() error {
 		go func(name string, ch chan outcome) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			start := time.Now()
 			tab, err := registry[name](cfg)
-			ch <- outcome{tab, err}
+			ch <- outcome{tab, err, time.Since(start)}
 		}(name, results[i])
 	}
+	walls := make([]time.Duration, len(names))
 	for i, name := range names {
 		res := <-results[i]
 		if res.err != nil {
 			return fmt.Errorf("%s: %w", name, res.err)
 		}
+		walls[i] = res.wall
 		fmt.Println(res.tab.Text())
 		if *plot {
 			fmt.Println(res.tab.Plot(72, 18))
@@ -110,7 +125,61 @@ func run() error {
 			fmt.Printf("# wrote %s\n\n", path)
 		}
 	}
+
+	if *timing || *compare {
+		printTiming(names, walls, registry, cfg, *compare)
+	}
 	return nil
+}
+
+// printTiming renders the end-of-run timing summary: wall time per
+// experiment (slowest first) and, with compare set, a sequential re-run
+// (Workers=1) of each experiment with the resulting speedup.
+func printTiming(names []string, walls []time.Duration, registry map[string]experiment.Runner, cfg experiment.Config, compare bool) {
+	type row struct {
+		name      string
+		wall, seq time.Duration
+	}
+	rows := make([]row, len(names))
+	var seqTotal time.Duration
+	for i, name := range names {
+		rows[i] = row{name: name, wall: walls[i]}
+		if compare {
+			seqCfg := cfg
+			seqCfg.Workers = 1
+			start := time.Now()
+			if _, err := registry[name](seqCfg); err == nil {
+				rows[i].seq = time.Since(start)
+				seqTotal += rows[i].seq
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].wall > rows[j].wall })
+
+	var total time.Duration
+	for _, r := range rows {
+		total += r.wall
+	}
+	fmt.Printf("# timing summary (workers=%d, GOMAXPROCS=%d)\n", cfg.Workers, runtime.GOMAXPROCS(0))
+	if compare {
+		fmt.Printf("# %-14s %12s %12s %9s\n", "experiment", "wall", "sequential", "speedup")
+	} else {
+		fmt.Printf("# %-14s %12s\n", "experiment", "wall")
+	}
+	for _, r := range rows {
+		if compare && r.seq > 0 {
+			fmt.Printf("# %-14s %12s %12s %8.2fx\n", r.name, r.wall.Round(time.Millisecond),
+				r.seq.Round(time.Millisecond), float64(r.seq)/float64(r.wall))
+		} else {
+			fmt.Printf("# %-14s %12s\n", r.name, r.wall.Round(time.Millisecond))
+		}
+	}
+	if compare && seqTotal > 0 {
+		fmt.Printf("# %-14s %12s %12s %8.2fx\n", "TOTAL", total.Round(time.Millisecond),
+			seqTotal.Round(time.Millisecond), float64(seqTotal)/float64(total))
+	} else {
+		fmt.Printf("# %-14s %12s\n", "TOTAL", total.Round(time.Millisecond))
+	}
 }
 
 func maxInt(a, b int) int {

@@ -30,9 +30,17 @@ type Client struct {
 	held    map[int]int  // slice ID -> bytes currently buffered
 	ignored map[int]bool // slice ID -> discard any further bytes
 	occ     int
+
+	// Reusable ClientStepResult backing arrays (see Step).
+	played  []int
+	dropped []int
 }
 
 // ClientStepResult reports what the client did in one step.
+//
+// The Played and Dropped slices alias buffers owned by the Client and are
+// overwritten by the next Step call; callers that retain them across steps
+// must copy.
 type ClientStepResult struct {
 	// Played lists slice IDs played out this step (all bytes present).
 	Played []int
@@ -67,6 +75,8 @@ func (cl *Client) Occupancy() int { return cl.occ }
 // Step executes one time step t: accept delivered batches, play the frame
 // scheduled for t, then resolve any buffer overflow.
 func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
+	cl.played = cl.played[:0]
+	cl.dropped = cl.dropped[:0]
 	var res ClientStepResult
 
 	for _, b := range delivered {
@@ -84,13 +94,13 @@ func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
 			continue
 		}
 		if cl.held[sl.ID] == sl.Size {
-			res.Played = append(res.Played, sl.ID)
+			cl.played = append(cl.played, sl.ID)
 			cl.occ -= sl.Size
 			delete(cl.held, sl.ID)
 			cl.ignored[sl.ID] = true
 			continue
 		}
-		res.Dropped = append(res.Dropped, sl.ID)
+		cl.dropped = append(cl.dropped, sl.ID)
 		cl.occ -= cl.held[sl.ID]
 		delete(cl.held, sl.ID)
 		cl.ignored[sl.ID] = true
@@ -103,12 +113,14 @@ func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
 		if victim < 0 {
 			break
 		}
-		res.Dropped = append(res.Dropped, victim)
+		cl.dropped = append(cl.dropped, victim)
 		cl.occ -= cl.held[victim]
 		delete(cl.held, victim)
 		cl.ignored[victim] = true
 	}
 
+	res.Played = cl.played
+	res.Dropped = cl.dropped
 	res.Occupancy = cl.occ
 	return res
 }

@@ -33,6 +33,14 @@ type Server struct {
 	head  int
 	pos   map[int]int // slice ID -> index into queue
 	occ   int         // bytes currently stored
+
+	// Reusable ServerStepResult backing arrays (see Step): the hot loops
+	// in Simulate and the sweep experiments call Step millions of times,
+	// and reusing these keeps the per-step allocation count at zero once
+	// the arrays have grown to their working size.
+	sent     []Batch
+	finished []int
+	dropped  []stream.Slice
 }
 
 type serverEntry struct {
@@ -43,6 +51,10 @@ type serverEntry struct {
 }
 
 // ServerStepResult reports what the server did in one step.
+//
+// The Sent, Finished and Dropped slices alias buffers owned by the Server
+// and are overwritten by the next Step call; callers that retain them
+// across steps must copy.
 type ServerStepResult struct {
 	// Sent lists byte batches submitted to the link this step, in FIFO
 	// order. Batches of distinct slices never interleave.
@@ -100,17 +112,22 @@ func (sv *Server) Empty() bool { return sv.occ == 0 }
 // FIFO order, then discard slices per the policy until occupancy is within
 // the buffer (Eqs. 2–3 of the paper, with whole-slice drops).
 func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
+	// Reuse the result backing arrays from the previous step (see the
+	// ServerStepResult aliasing contract).
+	sv.sent = sv.sent[:0]
+	sv.finished = sv.finished[:0]
+	sv.dropped = sv.dropped[:0]
 	var res ServerStepResult
 
 	if sv.opts.DropLate {
-		sv.dropLate(t, &res)
+		sv.dropLate(t)
 	}
 
 	// Arrivals join the buffer; a slice larger than the whole buffer can
 	// never be stored and is discarded on the spot.
 	for _, sl := range arrivals {
 		if sl.Size > sv.buffer {
-			res.Dropped = append(res.Dropped, sl)
+			sv.dropped = append(sv.dropped, sl)
 			continue
 		}
 		sv.pos[sl.ID] = len(sv.queue)
@@ -129,7 +146,7 @@ func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
 				break
 			}
 			sv.removeByID(victim.ID)
-			res.Dropped = append(res.Dropped, victim)
+			sv.dropped = append(sv.dropped, victim)
 		}
 	}
 
@@ -154,10 +171,10 @@ func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
 		e.remaining -= n
 		budget -= n
 		sv.occ -= n
-		res.Sent = append(res.Sent, Batch{SliceID: e.s.ID, Bytes: n})
+		sv.sent = append(sv.sent, Batch{SliceID: e.s.ID, Bytes: n})
 		res.SentBytes += n
 		if e.remaining == 0 {
-			res.Finished = append(res.Finished, e.s.ID)
+			sv.finished = append(sv.finished, e.s.ID)
 			sv.advanceHead()
 		}
 	}
@@ -172,16 +189,19 @@ func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
 			break // only the in-transmission residue remains
 		}
 		sv.removeByID(victim.ID)
-		res.Dropped = append(res.Dropped, victim)
+		sv.dropped = append(sv.dropped, victim)
 	}
 
+	res.Sent = sv.sent
+	res.Finished = sv.finished
+	res.Dropped = sv.dropped
 	res.Occupancy = sv.occ
 	return res
 }
 
 // dropLate proactively discards queued, not-yet-started slices whose
 // deadline (arrival + D) has already passed.
-func (sv *Server) dropLate(t int, res *ServerStepResult) {
+func (sv *Server) dropLate(t int) {
 	for i := sv.head; i < len(sv.queue); i++ {
 		e := &sv.queue[i]
 		if e.dropped || e.started {
@@ -190,7 +210,7 @@ func (sv *Server) dropLate(t int, res *ServerStepResult) {
 		if e.s.Arrival+sv.opts.Deadline < t {
 			sv.policy.Remove(e.s.ID)
 			sv.removeByID(e.s.ID)
-			res.Dropped = append(res.Dropped, e.s)
+			sv.dropped = append(sv.dropped, e.s)
 		}
 	}
 }

@@ -19,7 +19,6 @@
 package drop
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -64,7 +63,11 @@ func newLazySet() lazySet { return lazySet{present: make(map[int]stream.Slice)} 
 func (l *lazySet) add(s stream.Slice) { l.present[s.ID] = s }
 func (l *lazySet) remove(id int)      { delete(l.present, id) }
 func (l *lazySet) len() int           { return len(l.present) }
-func (l *lazySet) reset()             { l.present = make(map[int]stream.Slice) }
+
+// reset clears the map in place rather than reallocating: policies are
+// Reset once per simulation in the sweep hot path, and the runtime reuses
+// the map's buckets, so repeated runs stop churning the allocator.
+func (l *lazySet) reset() { clear(l.present) }
 func (l *lazySet) get(id int) (stream.Slice, bool) {
 	s, ok := l.present[id]
 	return s, ok
@@ -182,23 +185,59 @@ type greedyItem struct {
 	byteValue float64
 }
 
+// greedyHeap is a hand-rolled min-heap rather than a container/heap
+// implementation: heap.Push/Pop box every greedyItem into an interface,
+// which costs one allocation per operation in the simulator's hot path.
+// The direct methods below are allocation-free, and push reuses the
+// backing array truncated by pop and Reset.
 type greedyHeap []greedyItem
 
-func (h greedyHeap) Len() int { return len(h) }
-func (h greedyHeap) Less(i, j int) bool {
+func (h greedyHeap) less(i, j int) bool {
 	if h[i].byteValue != h[j].byteValue {
 		return h[i].byteValue < h[j].byteValue
 	}
 	return h[i].id > h[j].id
 }
-func (h greedyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *greedyHeap) Push(x any)   { *h = append(*h, x.(greedyItem)) }
-func (h *greedyHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push inserts an item and restores the heap invariant (sift-up).
+func (h *greedyHeap) push(it greedyItem) {
+	*h = append(*h, it)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum item (sift-down). The backing array
+// is retained for reuse.
+func (h *greedyHeap) pop() greedyItem {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && s.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && s.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
 }
 
 // greedy drops the slice with the lowest byte value w(s)/|s| first
@@ -219,14 +258,14 @@ func (p *greedy) Name() string { return "greedy" }
 
 func (p *greedy) Add(s stream.Slice) {
 	p.set.add(s)
-	heap.Push(&p.h, greedyItem{id: s.ID, byteValue: s.ByteValue()})
+	p.h.push(greedyItem{id: s.ID, byteValue: s.ByteValue()})
 }
 
 func (p *greedy) Remove(id int) { p.set.remove(id) }
 
 func (p *greedy) Victim() (stream.Slice, bool) {
-	for p.h.Len() > 0 {
-		it := heap.Pop(&p.h).(greedyItem)
+	for len(p.h) > 0 {
+		it := p.h.pop()
 		if s, ok := p.set.get(it.id); ok {
 			p.set.remove(it.id)
 			return s, true
@@ -238,11 +277,11 @@ func (p *greedy) Victim() (stream.Slice, bool) {
 // peek returns the live minimum-byte-value slice without removing it,
 // discarding stale heap entries along the way.
 func (p *greedy) peek() (stream.Slice, bool) {
-	for p.h.Len() > 0 {
+	for len(p.h) > 0 {
 		if s, ok := p.set.get(p.h[0].id); ok {
 			return s, true
 		}
-		heap.Pop(&p.h)
+		p.h.pop()
 	}
 	return stream.Slice{}, false
 }
@@ -323,6 +362,6 @@ func (p *random) Len() int { return len(p.ids) }
 func (p *random) Reset() {
 	p.rng = rand.New(rand.NewSource(p.seed))
 	p.ids = p.ids[:0]
-	p.pos = make(map[int]int)
-	p.all = make(map[int]stream.Slice)
+	clear(p.pos)
+	clear(p.all)
 }

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestWorkerCountInvariance runs every registered experiment at quick scale
+// with 1 worker and with 4 workers and requires byte-identical CSV output.
+// This is the contract that lets golden_test.go lock one set of files
+// regardless of how many goroutines a host sweeps with: result ordering is
+// positional, and experiments that consume a shared random source draw all
+// random inputs sequentially before the sweep starts.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	registry := All()
+	for _, name := range Names() {
+		runner := registry[name]
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			seq, err := runner(Config{Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			par, err := runner(Config{Quick: true, Workers: 4})
+			if err != nil {
+				t.Fatalf("workers=4: %v", err)
+			}
+			if got, want := par.CSV(), seq.CSV(); got != want {
+				t.Errorf("output differs between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", want, got)
+			}
+		})
+	}
+}

@@ -37,7 +37,7 @@ func TableMuxGain(c Config) (*Table, error) {
 			"total buffer = 6 x maxframe x K; greedy policy; whole-frame slices",
 		},
 	}
-	for _, k := range []int{1, 2, 4, 8} {
+	err := t.sweepRowsInt(c, []int{1, 2, 4, 8}, func(k int) (map[string]float64, error) {
 		var streams []*stream.Stream
 		totalBytes := 0
 		horizon := 0
@@ -73,10 +73,13 @@ func TableMuxGain(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(k), map[string]float64{
+		return map[string]float64{
 			"shared":      100 * shared.WeightedLoss(),
 			"partitioned": 100 * part.WeightedLoss(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -117,7 +120,7 @@ func TableAlternatives(c Config) (*Table, error) {
 	if c.Quick {
 		delays = []int{1, 4, 16, 64}
 	}
-	for _, D := range delays {
+	err = t.sweepRowsInt(c, delays, func(D int) (map[string]float64, error) {
 		r1, err := alternatives.MinRateForLoss(st, D, 0.01)
 		if err != nil {
 			return nil, err
@@ -130,11 +133,14 @@ func TableAlternatives(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(D), map[string]float64{
+		return map[string]float64{
 			"smoothing-1pct": float64(r1) / avg,
 			"lossless":       float64(r0) / avg,
 			"rcbr-peak":      float64(plan.Peak) / avg,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -169,7 +175,7 @@ func TableDecode(c Config) (*Table, error) {
 	if c.Quick {
 		multiples = []float64{1, 4, 16}
 	}
-	for _, m := range multiples {
+	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		row := map[string]float64{}
 		for name, f := range map[string]drop.Factory{"taildrop": drop.TailDrop, "greedy": drop.Greedy} {
@@ -182,7 +188,10 @@ func TableDecode(c Config) (*Table, error) {
 			row[name+"-delivered"] = 100 * float64(stats.Delivered) / float64(stats.Total)
 			row[name+"-decodable"] = 100 * stats.DecodableFraction()
 		}
-		t.AddRow(m, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -238,7 +247,7 @@ func TableProactive(c Config) (*Table, error) {
 				R, B, period, mpegR, mpegB),
 		},
 	}
-	for _, th := range []float64{0.25, 0.5, 0.75, 0.9, 1.0} {
+	err = t.sweepRows(c, []float64{0.25, 0.5, 0.75, 0.9, 1.0}, func(th float64) (map[string]float64, error) {
 		var factory drop.Factory
 		if th >= 1 {
 			factory = drop.Greedy
@@ -256,7 +265,10 @@ func TableProactive(c Config) (*Table, error) {
 			return nil, err
 		}
 		row["mpeg"] = 100 * sm.Benefit() / mpeg.TotalWeight()
-		t.AddRow(th, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -289,7 +301,7 @@ func TableJitter(c Config) (*Table, error) {
 			"regulated runs are byte-identical to a constant P+J link (property-tested)",
 		},
 	}
-	for _, J := range []int{0, 1, 2, 4, 8, 16} {
+	err = t.sweepRowsInt(c, []int{0, 1, 2, 4, 8, 16}, func(J int) (map[string]float64, error) {
 		res, err := linksim.SimulateUnregulated(st, cfg, J, c.Seed)
 		if err != nil {
 			return nil, err
@@ -305,11 +317,14 @@ func TableJitter(c Config) (*Table, error) {
 			}
 		}
 		total := float64(st.Len())
-		t.AddRow(float64(J), map[string]float64{
+		return map[string]float64{
 			"unregulated":        100 * float64(res.Played) / total,
 			"regulated":          100 * float64(played) / total,
 			"regulator-buffer/R": float64(regOcc) / float64(R),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -42,7 +42,7 @@ func TableGlitch(c Config) (*Table, error) {
 	if c.Quick {
 		multiples = []float64{1, 4, 16}
 	}
-	for _, m := range multiples {
+	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		row := map[string]float64{}
 		for name, f := range map[string]drop.Factory{"taildrop": drop.TailDrop, "greedy": drop.Greedy} {
@@ -54,7 +54,10 @@ func TableGlitch(c Config) (*Table, error) {
 			row[name+"-glitches"] = p.PerKiloframe
 			row[name+"-longest"] = float64(p.Longest)
 		}
-		t.AddRow(m, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -98,17 +101,20 @@ func TableAdaptive(c Config) (*Table, error) {
 	if c.Quick {
 		windows = []int{4, 16, 64}
 	}
-	for _, w := range windows {
+	err = t.sweepRowsInt(c, windows, func(w int) (map[string]float64, error) {
 		res, err := adaptive.Run(st, B, adaptive.Config{Window: w, Headroom: 1.2}, drop.Greedy)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(w), map[string]float64{
+		return map[string]float64{
 			"renegs/kstep":      1000 * float64(res.Renegotiations) / float64(res.Steps),
 			"mean-reserved/avg": res.MeanReserved / avg,
 			"peak/avg":          float64(res.PeakRate) / avg,
 			"wloss%":            100 * res.WeightedLoss,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -157,7 +163,7 @@ func TableAdmission(c Config) (*Table, error) {
 	if c.Quick {
 		ks = []int{6, 8, 10}
 	}
-	for _, k := range ks {
+	err = t.sweepRowsInt(c, ks, func(k int) (map[string]float64, error) {
 		exp, err := admission.ChernoffExponent(train, k, C)
 		if err != nil {
 			return nil, err
@@ -166,10 +172,13 @@ func TableAdmission(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(k), map[string]float64{
+		return map[string]float64{
 			"chernoff-bound":      math.Exp(exp),
 			"measured-bufferless": measured,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -63,7 +63,7 @@ func TableFairness(c Config) (*Table, error) {
 	if c.Quick {
 		factors = []float64{0.9, 1.0}
 	}
-	for _, f := range factors {
+	err := t.sweepRows(c, factors, func(f float64) (map[string]float64, error) {
 		rate := int(f * float64(totalBytes) / float64(horizon+1))
 		buffer := 6 * maxFrame * len(streams)
 		shared, err := mux.Shared(streams, rate, buffer, drop.Greedy)
@@ -74,12 +74,15 @@ func TableFairness(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(f, map[string]float64{
+		return map[string]float64{
 			"jain-shared":       shared.FairnessIndex(),
 			"jain-partitioned":  part.FairnessIndex(),
 			"wloss-shared":      100 * shared.WeightedLoss(),
 			"wloss-partitioned": 100 * part.WeightedLoss(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

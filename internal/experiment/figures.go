@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/drop"
@@ -31,6 +32,12 @@ type Config struct {
 	Trials int
 	// Quick shrinks everything for benchmark iterations.
 	Quick bool
+	// Workers bounds how many sweep points run concurrently (see Sweep).
+	// 0 selects GOMAXPROCS — except for Quick runs under the race
+	// detector, which pin to 1 so race-checked benchmark iterations stay
+	// comparable to the sequential baselines. Negative values also mean 1.
+	// Results are identical for any worker count; only wall time changes.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +75,16 @@ func (c Config) withDefaults() Config {
 		if c.Quick {
 			c.Trials = 10
 		}
+	}
+	if c.Workers == 0 {
+		if c.Quick && raceEnabled {
+			c.Workers = 1
+		} else {
+			c.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -149,7 +166,7 @@ func lossFigure(id, title string, rateFactor float64, c Config) (*Table, error) 
 			"byte slices; weights I:P:B = 12:8:1; D = B/R",
 		},
 	}
-	for _, m := range c.BufferMultiples {
+	err = t.sweepRows(c, c.BufferMultiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		bens, err := runPolicies(st, B, R, map[string]drop.Factory{
 			"taildrop": drop.TailDrop, "greedy": drop.Greedy,
@@ -161,11 +178,14 @@ func lossFigure(id, title string, rateFactor float64, c Config) (*Table, error) 
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(m, map[string]float64{
+		return map[string]float64{
 			"taildrop": lossPct(bens["taildrop"], total),
 			"greedy":   lossPct(bens["greedy"], total),
 			"optimal":  lossPct(opt.Benefit, total),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -208,7 +228,7 @@ func Fig4(c Config) (*Table, error) {
 				c.Frames, c.Seed, c.Fig4BufferMultiple),
 		},
 	}
-	for _, f := range c.RateFactors {
+	err = t.sweepRows(c, c.RateFactors, func(f float64) (map[string]float64, error) {
 		R := rateFor(cl, f)
 		B := bufferUnits(int(c.Fig4BufferMultiple * float64(cl.MaxFrameSize())))
 		bens, err := runPolicies(st, B, R, map[string]drop.Factory{
@@ -221,11 +241,14 @@ func Fig4(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(f, map[string]float64{
+		return map[string]float64{
 			"taildrop": 100 * bens["taildrop"] / total,
 			"greedy":   100 * bens["greedy"] / total,
 			"optimal":  100 * opt.Benefit / total,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -260,7 +283,7 @@ func Fig5(c Config) (*Table, error) {
 			fmt.Sprintf("frames=%d seed=%d R=%d (average rate)", c.Frames, c.Seed, R),
 		},
 	}
-	for _, m := range c.BufferMultiples {
+	err = t.sweepRows(c, c.BufferMultiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		optB, err := offline.OptimalUnit(byteSt, B, R)
 		if err != nil {
@@ -270,10 +293,13 @@ func Fig5(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(m, map[string]float64{
+		return map[string]float64{
 			"optimal-frame": lossPct(optF.Benefit, total),
 			"optimal-byte":  lossPct(optB.Benefit, total),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -307,9 +333,8 @@ func Fig6(c Config) (*Table, error) {
 		},
 	}
 	policies := map[string]drop.Factory{"taildrop": drop.TailDrop, "greedy": drop.Greedy}
-	for _, m := range c.BufferMultiples {
+	err = t.sweepRows(c, c.BufferMultiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
-		row := map[string]float64{}
 		bensB, err := runPolicies(byteSt, B, R, policies)
 		if err != nil {
 			return nil, err
@@ -318,11 +343,15 @@ func Fig6(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row["taildrop-byte"] = lossPct(bensB["taildrop"], total)
-		row["greedy-byte"] = lossPct(bensB["greedy"], total)
-		row["taildrop-frame"] = lossPct(bensF["taildrop"], total)
-		row["greedy-frame"] = lossPct(bensF["greedy"], total)
-		t.AddRow(m, row)
+		return map[string]float64{
+			"taildrop-byte":  lossPct(bensB["taildrop"], total),
+			"greedy-byte":    lossPct(bensB["greedy"], total),
+			"taildrop-frame": lossPct(bensF["taildrop"], total),
+			"greedy-frame":   lossPct(bensF["greedy"], total),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

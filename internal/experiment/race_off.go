@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in. The
+// quick-mode benchmarks pin the sweep worker count to 1 under -race so
+// that race-checked benchmark iterations stay comparable to the seeded
+// sequential baselines (see Config.withDefaults).
+const raceEnabled = false

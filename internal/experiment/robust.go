@@ -35,7 +35,7 @@ func TableRobust(c Config) (*Table, error) {
 			"idc256: mean index of dispersion (window 256) — burstiness per profile",
 		},
 	}
-	for pi, prof := range trace.Profiles() {
+	rows, err := Sweep(c.Workers, trace.Profiles(), func(pi int, prof trace.Profile) (Row, error) {
 		gMin, gMax := math.Inf(1), math.Inf(-1)
 		tdMin, tdMax := math.Inf(1), math.Inf(-1)
 		var idcSum float64
@@ -45,18 +45,18 @@ func TableRobust(c Config) (*Table, error) {
 			gc.Seed = seed
 			clip, err := trace.Generate(gc)
 			if err != nil {
-				return nil, err
+				return Row{}, err
 			}
 			st, err := trace.ByteSliceStream(clip, trace.PaperWeights())
 			if err != nil {
-				return nil, err
+				return Row{}, err
 			}
 			R := rateFor(clip, 0.9)
 			B := bufferUnits(4 * clip.MaxFrameSize())
 			for name, f := range map[string]drop.Factory{"greedy": drop.Greedy, "taildrop": drop.TailDrop} {
 				s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
 				if err != nil {
-					return nil, err
+					return Row{}, err
 				}
 				loss := 100 * s.WeightedLoss()
 				switch name {
@@ -78,14 +78,18 @@ func TableRobust(c Config) (*Table, error) {
 			}
 			idcSum += idc(demand, window)
 		}
-		t.AddRow(float64(pi+1), map[string]float64{
+		return Row{X: float64(pi + 1), Y: map[string]float64{
 			"greedy-min":   gMin,
 			"greedy-max":   gMax,
 			"taildrop-min": tdMin,
 			"taildrop-max": tdMax,
 			"idc256":       idcSum / float64(len(seeds)),
-		})
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 

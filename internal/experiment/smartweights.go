@@ -48,9 +48,8 @@ func TableSmartWeights(c Config) (*Table, error) {
 	if c.Quick {
 		multiples = []float64{1, 4, 16}
 	}
-	for _, m := range multiples {
+	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
-		row := map[string]float64{}
 		sPaper, err := core.Simulate(paper, core.Config{ServerBuffer: B, Rate: R, Policy: drop.Greedy})
 		if err != nil {
 			return nil, err
@@ -63,10 +62,14 @@ func TableSmartWeights(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row["paper-12-8-1"] = 100 * trace.Decodability(cl, func(i int) bool { return sPaper.Outcomes[i].Played() }).DecodableFraction()
-		row["dependency-derived"] = 100 * trace.Decodability(cl, func(i int) bool { return sSmart.Outcomes[i].Played() }).DecodableFraction()
-		row["taildrop-reference"] = 100 * trace.Decodability(cl, func(i int) bool { return sTail.Outcomes[i].Played() }).DecodableFraction()
-		t.AddRow(m, row)
+		return map[string]float64{
+			"paper-12-8-1":       100 * trace.Decodability(cl, func(i int) bool { return sPaper.Outcomes[i].Played() }).DecodableFraction(),
+			"dependency-derived": 100 * trace.Decodability(cl, func(i int) bool { return sSmart.Outcomes[i].Played() }).DecodableFraction(),
+			"taildrop-reference": 100 * trace.Decodability(cl, func(i int) bool { return sTail.Outcomes[i].Played() }).DecodableFraction(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

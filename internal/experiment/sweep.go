@@ -1,0 +1,128 @@
+package experiment
+
+// The parallel sweep engine. Every experiment in this package is a sweep
+// over independent points (buffer multiples, rate factors, delays, stream
+// counts, ...); each point replays one or more full simulations and touches
+// no shared mutable state — streams and clips are immutable once built, and
+// drop policies are constructed fresh per simulation via drop.Factory.
+//
+// Sweep fans the points out over a bounded worker pool and returns the
+// results in point order, so parallel runs are byte-identical to sequential
+// ones (golden_test.go locks this in; determinism_test.go checks it for
+// every registered experiment). Experiments whose points consume a shared
+// random source pre-generate those inputs sequentially before sweeping.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep applies fn to every point concurrently, using up to workers
+// goroutines (workers <= 0 means GOMAXPROCS), and returns the results in
+// point order. fn receives the point's index and value.
+//
+// Error handling is fail-fast: once any point fails, no new points are
+// started, and the lowest-index recorded error is returned (with workers=1
+// that is deterministically the first failing point in order). A panicking
+// point is contained and reported as an error rather than tearing down the
+// process.
+func Sweep[P, R any](workers int, points []P, fn func(i int, p P) (R, error)) ([]R, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]R, n)
+	if workers == 1 {
+		for i, p := range points {
+			r, err := runPoint(fn, i, p)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := runPoint(fn, i, points[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runPoint invokes fn for one point, converting a panic into an error.
+func runPoint[P, R any](fn func(int, P) (R, error), i int, p P) (r R, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("experiment: sweep point %d panicked: %v", i, rec)
+		}
+	}()
+	return fn(i, p)
+}
+
+// sweepRows is the shape shared by most experiments: one row per float64
+// x point, appended to the table in point order.
+func (t *Table) sweepRows(c Config, xs []float64, fn func(x float64) (map[string]float64, error)) error {
+	rows, err := Sweep(c.Workers, xs, func(_ int, x float64) (Row, error) {
+		y, err := fn(x)
+		if err != nil {
+			return Row{}, err
+		}
+		return Row{X: x, Y: y}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t.Rows = append(t.Rows, rows...)
+	return nil
+}
+
+// sweepRowsInt is sweepRows for integer-valued x axes (delays, buffer
+// sizes, stream counts).
+func (t *Table) sweepRowsInt(c Config, xs []int, fn func(x int) (map[string]float64, error)) error {
+	rows, err := Sweep(c.Workers, xs, func(_ int, x int) (Row, error) {
+		y, err := fn(x)
+		if err != nil {
+			return Row{}, err
+		}
+		return Row{X: float64(x), Y: y}, nil
+	})
+	if err != nil {
+		return err
+	}
+	t.Rows = append(t.Rows, rows...)
+	return nil
+}

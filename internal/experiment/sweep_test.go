@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepOrdering checks that results come back in point order for a
+// spread of worker counts, including counts above the point count.
+func TestSweepOrdering(t *testing.T) {
+	points := make([]int, 100)
+	for i := range points {
+		points[i] = i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 7, 100, 1000} {
+		got, err := Sweep(workers, points, func(i, p int) (int, error) {
+			return 10 * p, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(points) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), len(points))
+		}
+		for i, r := range got {
+			if r != 10*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, r, 10*i)
+			}
+		}
+	}
+}
+
+// TestSweepIndexArgument checks that fn receives the point's index.
+func TestSweepIndexArgument(t *testing.T) {
+	points := []string{"a", "b", "c"}
+	got, err := Sweep(2, points, func(i int, p string) (string, error) {
+		return fmt.Sprintf("%d:%s", i, p), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0:a", "1:b", "2:c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSweepEmpty checks the no-points fast path.
+func TestSweepEmpty(t *testing.T) {
+	got, err := Sweep(4, nil, func(i, p int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("got %v, want nil", got)
+	}
+}
+
+// TestSweepErrorPropagation checks fail-fast behaviour: the error comes
+// back, and with one worker no later point runs after the failure.
+func TestSweepErrorPropagation(t *testing.T) {
+	sentinel := errors.New("point 3 failed")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Sweep(workers, []int{0, 1, 2, 3, 4, 5}, func(i, p int) (int, error) {
+			ran.Add(1)
+			if p == 3 {
+				return 0, sentinel
+			}
+			return p, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, sentinel)
+		}
+		if workers == 1 && ran.Load() != 4 {
+			t.Errorf("workers=1: %d points ran, want 4 (fail-fast)", ran.Load())
+		}
+	}
+}
+
+// TestSweepLowestErrorWins checks that with several failures the
+// lowest-index error is the one reported.
+func TestSweepLowestErrorWins(t *testing.T) {
+	points := make([]int, 32)
+	for i := range points {
+		points[i] = i
+	}
+	_, err := Sweep(8, points, func(i, p int) (int, error) {
+		if p >= 5 {
+			return 0, fmt.Errorf("err-%d", p)
+		}
+		return p, nil
+	})
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	// Exactly which failures are recorded depends on scheduling, but the
+	// reported one must be the lowest-index recorded failure, and point 5
+	// is started before any worker can observe a failure only under
+	// workers=1. Under any schedule the reported index is >= 5.
+	var idx int
+	if _, scanErr := fmt.Sscanf(err.Error(), "err-%d", &idx); scanErr != nil {
+		t.Fatalf("unexpected error text %q", err)
+	}
+	if idx < 5 {
+		t.Errorf("reported err-%d, but points below 5 cannot fail", idx)
+	}
+}
+
+// TestSweepPanicContainment checks that a panicking point surfaces as an
+// error naming the point instead of crashing the process.
+func TestSweepPanicContainment(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Sweep(workers, []int{0, 1, 2}, func(i, p int) (int, error) {
+			if p == 1 {
+				panic("boom")
+			}
+			return p, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: want error from panic, got nil", workers)
+		}
+		if !strings.Contains(err.Error(), "point 1 panicked") || !strings.Contains(err.Error(), "boom") {
+			t.Errorf("workers=%d: err = %q, want mention of point 1 and panic value", workers, err)
+		}
+	}
+}
+
+// TestSweepRowsOrder checks the Table helpers keep rows in x order and
+// propagate errors.
+func TestSweepRowsOrder(t *testing.T) {
+	tab := &Table{}
+	c := Config{Workers: 4}
+	xs := []float64{0.5, 1.0, 1.5, 2.0}
+	err := tab.sweepRows(c, xs, func(x float64) (map[string]float64, error) {
+		return map[string]float64{"y": 2 * x}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(xs) {
+		t.Fatalf("got %d rows, want %d", len(tab.Rows), len(xs))
+	}
+	for i, r := range tab.Rows {
+		if r.X != xs[i] || r.Y["y"] != 2*xs[i] {
+			t.Errorf("row %d = {%v %v}, want {%v map[y:%v]}", i, r.X, r.Y, xs[i], 2*xs[i])
+		}
+	}
+
+	wantErr := errors.New("bad point")
+	err = tab.sweepRowsInt(c, []int{1, 2, 3}, func(x int) (map[string]float64, error) {
+		if x == 2 {
+			return nil, wantErr
+		}
+		return map[string]float64{"y": float64(x)}, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("sweepRowsInt err = %v, want %v", err, wantErr)
+	}
+	if len(tab.Rows) != len(xs) {
+		t.Errorf("failed sweep appended rows: %d, want %d", len(tab.Rows), len(xs))
+	}
+}

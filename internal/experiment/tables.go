@@ -65,7 +65,7 @@ func TableBRD(c Config) (*Table, error) {
 			"server (ablation) stays flat — exactly the Section 3.3 waste observation",
 		},
 	}
-	for _, k := range []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0} {
+	err = t.sweepRows(c, []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}, func(k float64) (map[string]float64, error) {
 		B := int(k*float64(law) + 0.5)
 		if B < 1 {
 			B = 1
@@ -102,12 +102,15 @@ func TableBRD(c Config) (*Table, error) {
 				client += sz
 			}
 		}
-		t.AddRow(k, map[string]float64{
+		return map[string]float64{
 			"byteloss":          100 * float64(st.TotalBytes()-s.Throughput()) / total,
 			"serverdrop":        100 * float64(server) / total,
 			"clientdrop":        100 * float64(client) / total,
 			"byteloss-droplate": 100 * float64(st.TotalBytes()-sLate.Throughput()) / total,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -147,7 +150,7 @@ func TableBufferRatio(c Config) (*Table, error) {
 		}
 		return float64(s.Throughput()), nil
 	}
-	for _, B1 := range []int{10, 20, 30, 40, 50, 60} {
+	err = t.sweepRowsInt(c, []int{10, 20, 30, 40, 50, 60}, func(B1 int) (map[string]float64, error) {
 		worst := math.Inf(1)
 		for _, st := range streams {
 			t1, err := throughput(st, B1)
@@ -170,11 +173,14 @@ func TableBufferRatio(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(B1), map[string]float64{
+		return map[string]float64{
 			"worst-random":  worst,
 			"batch-pattern": bt1 / bt2,
 			"bound":         float64(B1) / float64(B2),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -192,13 +198,14 @@ func TableVarSlices(c Config) (*Table, error) {
 		Series: []string{"worst-measured", "bound"},
 		Notes:  []string{fmt.Sprintf("B=4*Lmax (rounded to R), R=%d, trials=%d", R, c.Trials)},
 	}
+	// Random inputs are drawn sequentially from one shared source, so that
+	// the instance set (and hence the golden output) is independent of the
+	// worker count; only the simulations below run concurrently.
+	lmaxes := []int{1, 2, 3, 4, 6, 8}
 	rng := rand.New(rand.NewSource(c.Seed))
-	for _, lmax := range []int{1, 2, 3, 4, 6, 8} {
-		B := 4 * lmax
-		if B < R {
-			B = R
-		}
-		worst := math.Inf(1)
+	trialStreams := make([][]*stream.Stream, len(lmaxes))
+	for li, lmax := range lmaxes {
+		trialStreams[li] = make([]*stream.Stream, c.Trials)
 		for i := 0; i < c.Trials; i++ {
 			b := stream.NewBuilder()
 			n := 30 + rng.Intn(40)
@@ -206,14 +213,23 @@ func TableVarSlices(c Config) (*Table, error) {
 				size := rng.Intn(lmax) + 1
 				b.Add(rng.Intn(12), size, float64(size))
 			}
-			st := b.MustBuild()
+			trialStreams[li][i] = b.MustBuild()
+		}
+	}
+	rows, err := Sweep(c.Workers, lmaxes, func(li int, lmax int) (Row, error) {
+		B := 4 * lmax
+		if B < R {
+			B = R
+		}
+		worst := math.Inf(1)
+		for _, st := range trialStreams[li] {
 			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R})
 			if err != nil {
-				return nil, err
+				return Row{}, err
 			}
 			opt, err := offline.OptimalFrames(st, B, R)
 			if err != nil {
-				return nil, err
+				return Row{}, err
 			}
 			if opt.Benefit > 0 {
 				if r := float64(s.Throughput()) / opt.Benefit; r < worst {
@@ -221,11 +237,15 @@ func TableVarSlices(c Config) (*Table, error) {
 				}
 			}
 		}
-		t.AddRow(float64(lmax), map[string]float64{
+		return Row{X: float64(lmax), Y: map[string]float64{
 			"worst-measured": worst,
 			"bound":          float64(B-lmax+1) / float64(B),
-		})
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -242,33 +262,45 @@ func TableGreedyUpperBound(c Config) (*Table, error) {
 		Series: []string{"worst-measured", "bound"},
 		Notes:  []string{fmt.Sprintf("B=6*Lmax (rounded), R=%d, trials=%d, random weighted streams", R, c.Trials)},
 	}
+	// As in TableVarSlices: draw the random instances sequentially so the
+	// sweep is worker-count-invariant, then measure them concurrently.
+	lmaxes := []int{1, 2, 3, 4}
 	rng := rand.New(rand.NewSource(c.Seed))
-	for _, lmax := range []int{1, 2, 3, 4} {
+	trialStreams := make([][]*stream.Stream, len(lmaxes))
+	for li, lmax := range lmaxes {
+		trialStreams[li] = make([]*stream.Stream, c.Trials)
+		for i := 0; i < c.Trials; i++ {
+			if lmax == 1 {
+				trialStreams[li][i] = randomUnitStream(rng, 40+rng.Intn(60), 15, 50)
+			} else {
+				trialStreams[li][i] = randomVarStream(rng, 30+rng.Intn(40), 12, lmax, 50)
+			}
+		}
+	}
+	rows, err := Sweep(c.Workers, lmaxes, func(li int, lmax int) (Row, error) {
 		B := 6 * lmax
 		if B < R {
 			B = R
 		}
 		worst := 1.0
-		for i := 0; i < c.Trials; i++ {
-			var st *stream.Stream
-			if lmax == 1 {
-				st = randomUnitStream(rng, 40+rng.Intn(60), 15, 50)
-			} else {
-				st = randomVarStream(rng, 30+rng.Intn(40), 12, lmax, 50)
-			}
+		for _, st := range trialStreams[li] {
 			ratio, _, _, err := competitive.MeasureRatio(st, B, R, drop.Greedy)
 			if err != nil {
-				return nil, err
+				return Row{}, err
 			}
 			if !math.IsInf(ratio, 1) && ratio > worst {
 				worst = ratio
 			}
 		}
-		t.AddRow(float64(lmax), map[string]float64{
+		return Row{X: float64(lmax), Y: map[string]float64{
 			"worst-measured": worst,
 			"bound":          4 * float64(B) / float64(B-2*(lmax-1)),
-		})
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -285,7 +317,7 @@ func TableGreedyLowerBound(c Config) (*Table, error) {
 		Series: []string{"measured", "predicted", "two-minus-eps"},
 		Notes:  []string{fmt.Sprintf("B=%d, R=1; predicted = (α(2B+1)+1)/((B+1)(α+1))", B)},
 	}
-	for _, alpha := range []float64{1, 2, 4, 8, 16, 64, 256} {
+	err := t.sweepRows(c, []float64{1, 2, 4, 8, 16, 64, 256}, func(alpha float64) (map[string]float64, error) {
 		st, err := competitive.GreedyLowerBoundInstance(B, alpha)
 		if err != nil {
 			return nil, err
@@ -294,11 +326,14 @@ func TableGreedyLowerBound(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(alpha, map[string]float64{
+		return map[string]float64{
 			"measured":      ratio,
 			"predicted":     competitive.PredictedGreedyRatio(B, alpha),
 			"two-minus-eps": 2 - (2/(alpha+1) + 1/float64(B+1)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -332,7 +367,7 @@ func TableOnlineLowerBound(c Config) (*Table, error) {
 	if c.Quick {
 		trials = 6
 	}
-	for _, alpha := range []float64{2, 4.015} {
+	err := t.sweepRows(c, []float64{2, 4.015}, func(alpha float64) (map[string]float64, error) {
 		row := map[string]float64{"predicted-lb": competitive.PredictedOnlineLB(alpha)}
 		for name, f := range map[string]drop.Factory{
 			"greedy": drop.Greedy, "taildrop": drop.TailDrop, "headdrop": drop.HeadDrop,
@@ -350,7 +385,10 @@ func TableOnlineLowerBound(c Config) (*Table, error) {
 			return nil, err
 		}
 		row["randmix-oblivious"] = rr.Ratio
-		t.AddRow(alpha, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -385,7 +423,7 @@ func TableLossless(c Config) (*Table, error) {
 			fmt.Sprintf("frames=%d avgRate=%.1f; minrate uses B=R*D; stored plan uses clientBuffer = minrate*D", c.Frames, avg),
 		},
 	}
-	for _, D := range []int{1, 2, 4, 8, 16, 32, 64} {
+	err = t.sweepRowsInt(c, []int{1, 2, 4, 8, 16, 32, 64}, func(D int) (map[string]float64, error) {
 		R, err := lossless.MinRateForDelay(st, D)
 		if err != nil {
 			return nil, err
@@ -399,11 +437,14 @@ func TableLossless(c Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(float64(D), map[string]float64{
+		return map[string]float64{
 			"minrate-lossy-law": float64(R) / avg,
 			"window-smoother":   float64(wPeak) / avg,
 			"stored-plan":       plan.Peak / avg,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -143,10 +143,16 @@ func (s *Sender) Tick(arrivals []Offered) (TickStats, error) {
 		delete(s.streamOf, d.ID)
 	}
 	s.step++
+	// res.Dropped aliases a buffer the server reuses next Step; TickStats
+	// outlives the step, so copy (drops are rare — usually nil).
+	var dropped []stream.Slice
+	if len(res.Dropped) > 0 {
+		dropped = append(dropped, res.Dropped...)
+	}
 	return TickStats{
 		Step:      s.step - 1,
 		SentBytes: res.SentBytes,
-		Dropped:   res.Dropped,
+		Dropped:   dropped,
 		Occupancy: res.Occupancy,
 	}, nil
 }

@@ -224,16 +224,16 @@ func MovieProfile() GenConfig {
 	return g
 }
 
-// Profiles returns the built-in generator presets by name, in a stable
-// order.
-func Profiles() []struct {
+// Profile is a named generator preset.
+type Profile struct {
 	Name string
 	Cfg  GenConfig
-} {
-	return []struct {
-		Name string
-		Cfg  GenConfig
-	}{
+}
+
+// Profiles returns the built-in generator presets by name, in a stable
+// order.
+func Profiles() []Profile {
+	return []Profile{
 		{"news", NewsProfile()},
 		{"sports", SportsProfile()},
 		{"movie", MovieProfile()},

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Extended verification: everything tier-1 runs (build + tests) plus vet,
+# formatting, and the race detector over the whole module. CI runs this
+# script; run it locally before sending a change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "verify: OK"
