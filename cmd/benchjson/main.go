@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_quick.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_quick.json
 //	benchjson -in bench.txt -out BENCH_quick.json
 //
 // The converter understands the standard benchmark line format
@@ -29,6 +29,9 @@ import (
 type Result struct {
 	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
 	Name string `json:"name"`
+	// Pkg is the package the benchmark came from, when the input covered
+	// more than one (e.g. `go test -bench . ./...`); empty otherwise.
+	Pkg string `json:"pkg,omitempty"`
 	// Procs is the GOMAXPROCS suffix (1 when absent).
 	Procs int `json:"procs"`
 	// Iterations is b.N for the reported run.
@@ -40,7 +43,9 @@ type Result struct {
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
 }
 
-// File is the committed JSON document.
+// File is the committed JSON document. Pkg is the single package the
+// benchmarks came from; when the input spans several packages it is empty
+// and each Result carries its own Pkg instead.
 type File struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
@@ -95,6 +100,7 @@ func run() error {
 // benchmark lines.
 func Parse(r io.Reader) (*File, error) {
 	doc := &File{}
+	pkg, multiPkg := "", false
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -105,7 +111,13 @@ func Parse(r io.Reader) (*File, error) {
 		case strings.HasPrefix(line, "goarch: "):
 			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
 		case strings.HasPrefix(line, "pkg: "):
-			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			if doc.Pkg == "" && !multiPkg {
+				doc.Pkg = pkg
+			} else if doc.Pkg != pkg {
+				multiPkg = true
+				doc.Pkg = ""
+			}
 		case strings.HasPrefix(line, "cpu: "):
 			doc.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
@@ -113,7 +125,15 @@ func Parse(r io.Reader) (*File, error) {
 			if !ok {
 				continue
 			}
+			res.Pkg = pkg
 			doc.Benchmarks = append(doc.Benchmarks, res)
+		}
+	}
+	if !multiPkg {
+		// Single-package input: keep the package at the file level only,
+		// preserving the original compact format.
+		for i := range doc.Benchmarks {
+			doc.Benchmarks[i].Pkg = ""
 		}
 	}
 	return doc, sc.Err()

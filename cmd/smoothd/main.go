@@ -3,38 +3,54 @@
 // configured rate through a lossy smoothing buffer, with B = R·D negotiated
 // per the paper's law from the client's advertised latency budget.
 //
+// Single-stream sessions run on the sharded serving engine
+// (internal/serve): N shard loops, each with one clock stepping every
+// session registered on it, instead of a goroutine and ticker per
+// connection. On SIGINT/SIGTERM the server stops accepting, drains
+// in-flight sessions up to -drain, and exits 0.
+//
 // Usage:
 //
 //	smoothd [-listen :4321] [-trace FILE] [-frames N]
 //	        [-rate-factor F] [-step 40ms] [-policy greedy] [-once]
+//	        [-shards N] [-max-sessions N] [-drain 10s]
 //
-// Pair it with cmd/smoothplay.
+// Pair it with cmd/smoothplay (interactive) or cmd/smoothload (load).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/drop"
 	"repro/internal/netstream"
+	"repro/internal/serve"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		listen     = flag.String("listen", ":4321", "TCP listen address")
-		tracePath  = flag.String("trace", "", "trace file (default: synthetic clip)")
-		frames     = flag.Int("frames", 500, "synthetic clip length")
-		seed       = flag.Int64("seed", 1, "synthetic clip seed")
-		rateFactor = flag.Float64("rate-factor", 1.1, "link rate relative to the average stream rate")
-		step       = flag.Duration("step", 40*time.Millisecond, "wall-clock duration of one model step")
-		policyName = flag.String("policy", "greedy", "drop policy: taildrop, headdrop, greedy")
-		once       = flag.Bool("once", false, "serve a single connection and exit")
-		streams    = flag.Int("streams", 1, "substreams to multiplex over one shared smoothing buffer")
+		listen      = flag.String("listen", ":4321", "TCP listen address")
+		tracePath   = flag.String("trace", "", "trace file (default: synthetic clip)")
+		frames      = flag.Int("frames", 500, "synthetic clip length")
+		seed        = flag.Int64("seed", 1, "synthetic clip seed")
+		rateFactor  = flag.Float64("rate-factor", 1.1, "link rate relative to the average stream rate")
+		step        = flag.Duration("step", 40*time.Millisecond, "wall-clock duration of one model step")
+		policyName  = flag.String("policy", "greedy", "drop policy: taildrop, headdrop, greedy")
+		once        = flag.Bool("once", false, "serve a single connection and exit")
+		streams     = flag.Int("streams", 1, "substreams to multiplex over one shared smoothing buffer")
+		shards      = flag.Int("shards", runtime.GOMAXPROCS(0), "serving-engine shard loops")
+		maxSessions = flag.Int("max-sessions", 0, "concurrent session cap (0 = unlimited)")
+		drainWait   = flag.Duration("drain", 10*time.Second, "in-flight session drain budget on shutdown")
 	)
 	flag.Parse()
 
@@ -70,40 +86,115 @@ func main() {
 	if err != nil {
 		log.Fatalf("smoothd: %v", err)
 	}
-	defer ln.Close()
-	log.Printf("smoothd: serving %d frames (avg rate %.1f units/frame) at R=%d units/step on %s",
-		len(clip.Frames), clip.AverageRate(), rate, ln.Addr())
+	log.Printf("smoothd: serving %d frames (avg rate %.1f units/frame) at R=%d units/step on %s (%d shards)",
+		len(clip.Frames), clip.AverageRate(), rate, ln.Addr(), *shards)
 
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Fatalf("smoothd: accept: %v", err)
+	// sessionDone fires once per finished session; -once waits on it.
+	sessionDone := make(chan struct{}, 1)
+	noteDone := func() {
+		select {
+		case sessionDone <- struct{}{}:
+		default:
 		}
-		serve := func(c net.Conn) {
-			defer c.Close()
-			start := time.Now()
-			var err error
-			if *streams > 1 {
-				err = serveMuxSession(c, clips, rate, *step, factory)
-			} else {
-				err = netstream.Serve(c, clip, trace.PaperWeights(), netstream.ServeConfig{
-					Rate:         rate,
-					StepDuration: *step,
-					Policy:       netstream.SenderConfig{Policy: factory},
-				})
-			}
+	}
+
+	var eng *serve.Engine
+	var muxWG sync.WaitGroup // legacy multiplexed sessions (streams > 1)
+	if *streams == 1 {
+		eng, err = serve.New(clip, trace.PaperWeights(), serve.Config{
+			Rate:         rate,
+			Shards:       *shards,
+			MaxSessions:  *maxSessions,
+			StepDuration: *step,
+			Policy:       factory,
+			OnSessionDone: func(s serve.SessionStats, err error) {
+				if err != nil {
+					log.Printf("smoothd: session %s: %v", s.Remote, err)
+				} else {
+					log.Printf("smoothd: session %s done in %v (%d steps, %d dropped)",
+						s.Remote, s.Elapsed.Round(time.Millisecond), s.Steps, s.Dropped)
+				}
+				noteDone()
+			},
+		})
+		if err != nil {
+			log.Fatalf("smoothd: %v", err)
+		}
+	}
+
+	// Accept in the background so the main goroutine can watch for signals.
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := ln.Accept()
 			if err != nil {
-				log.Printf("smoothd: session %s: %v", c.RemoteAddr(), err)
+				if !errors.Is(err, net.ErrClosed) {
+					log.Printf("smoothd: accept: %v", err)
+				}
 				return
 			}
-			log.Printf("smoothd: session %s done in %v", c.RemoteAddr(), time.Since(start).Round(time.Millisecond))
+			if eng != nil {
+				// The handshake read blocks; keep the accept loop free.
+				go func(c net.Conn) {
+					if err := eng.Handle(c); err != nil {
+						log.Printf("smoothd: %v", err)
+					}
+				}(conn)
+				continue
+			}
+			muxWG.Add(1)
+			go func(c net.Conn) {
+				defer muxWG.Done()
+				defer c.Close()
+				start := time.Now()
+				if err := serveMuxSession(c, clips, rate, *step, factory); err != nil {
+					log.Printf("smoothd: session %s: %v", c.RemoteAddr(), err)
+				} else {
+					log.Printf("smoothd: session %s done in %v", c.RemoteAddr(), time.Since(start).Round(time.Millisecond))
+				}
+				noteDone()
+			}(conn)
 		}
-		if *once {
-			serve(conn)
-			return
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	if *once {
+		select {
+		case <-sessionDone:
+		case sig := <-sigCh:
+			log.Printf("smoothd: %v", sig)
 		}
-		go serve(conn)
+	} else {
+		sig := <-sigCh
+		log.Printf("smoothd: %v: stopping accept, draining sessions (budget %v)", sig, *drainWait)
 	}
+
+	// Graceful shutdown: stop accepting, drain in-flight sessions up to the
+	// budget, then exit 0 either way (Close aborts stragglers).
+	ln.Close()
+	<-acceptDone
+	drained := true
+	if eng != nil {
+		drained = eng.Drain(*drainWait)
+		eng.Close()
+	} else {
+		muxIdle := make(chan struct{})
+		go func() { muxWG.Wait(); close(muxIdle) }()
+		select {
+		case <-muxIdle:
+		case <-time.After(*drainWait):
+			drained = false
+		}
+	}
+	if drained {
+		log.Printf("smoothd: drained cleanly, bye")
+	} else {
+		log.Printf("smoothd: drain budget exceeded, aborting in-flight sessions")
+	}
+	os.Exit(0)
 }
 
 // serveMuxSession performs the handshake and pushes all substreams through

@@ -1,0 +1,223 @@
+// Command smoothload is the serving benchmark: it opens K concurrent client
+// sessions against a smoothd instance, drives every stream to completion
+// with the paper's timer-free client, and reports aggregate throughput,
+// step-lag percentiles and per-session loss.
+//
+// Step lag is measured per data message: the client anchors a wall clock at
+// the first message (the paper's clock-synchronization-free playout anchor)
+// and records how far behind the ideal pacing schedule — anchor +
+// SendStep·step — each message arrives, rebased per session so the fastest
+// message defines lag 0. p50/p99 of that distribution tell whether the
+// server's shard clocks kept up with the offered load.
+//
+// Usage:
+//
+//	smoothload [-connect localhost:4321] [-sessions 256] [-delay 16]
+//	           [-buffer BYTES] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/netstream"
+	"repro/internal/stats"
+)
+
+type result struct {
+	stats   netstream.PlayStats
+	lags    []float64 // per-message lag behind the pacing schedule, µs
+	bytes   int64     // payload bytes received (including late/incomplete)
+	elapsed time.Duration
+	err     error
+}
+
+func main() {
+	var (
+		addr     = flag.String("connect", "localhost:4321", "server address")
+		sessions = flag.Int("sessions", 256, "concurrent client sessions")
+		delay    = flag.Int("delay", 16, "desired smoothing delay in steps")
+		buffer   = flag.Int("buffer", 0, "client buffer in bytes to advertise (0 = unlimited)")
+		verbose  = flag.Bool("v", false, "log per-session completions")
+	)
+	flag.Parse()
+	if *sessions < 1 {
+		log.Fatal("smoothload: -sessions must be >= 1")
+	}
+
+	results := make([]result, *sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = runSession(*addr, *buffer, *delay)
+			if *verbose {
+				if err := results[i].err; err != nil {
+					log.Printf("smoothload: session %d: %v", i, err)
+				} else {
+					log.Printf("smoothload: session %d done in %v", i, results[i].elapsed.Round(time.Millisecond))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	report(results, wall)
+}
+
+// runSession performs one full handshake-receive-play session, measuring
+// the lag of every data message against the pacing schedule.
+func runSession(addr string, buffer, delay int) result {
+	var res result
+	begin := time.Now()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer conn.Close()
+
+	if err := netstream.WriteHello(conn, netstream.Hello{
+		ClientBuffer: uint32(buffer),
+		DesiredDelay: uint32(delay),
+	}); err != nil {
+		res.err = err
+		return res
+	}
+	dec := netstream.NewDecoder(conn)
+	msg, err := dec.Next()
+	if err != nil {
+		res.err = fmt.Errorf("reading accept: %w", err)
+		return res
+	}
+	if msg.Accept == nil {
+		res.err = fmt.Errorf("expected accept, got %+v", msg)
+		return res
+	}
+	acc := *msg.Accept
+	stepDur := time.Duration(acc.StepMicros) * time.Microsecond
+	rcv, err := netstream.NewReceiver(int(acc.Delay))
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.stats.Delay = int(acc.Delay)
+
+	playUpTo := -1
+	flush := func(step int) {
+		for playUpTo < step {
+			playUpTo++
+			ev := rcv.Play(playUpTo)
+			for _, sl := range ev.Slices {
+				res.stats.Played++
+				res.stats.PlayedBytes += sl.Size
+			}
+			res.stats.Incomplete += ev.Incomplete
+		}
+	}
+
+	var anchor time.Time
+	anchored := false
+	maxFrame := -1
+	for {
+		msg, err := dec.Next()
+		if err != nil {
+			res.err = fmt.Errorf("mid-stream: %w", err)
+			return res
+		}
+		if msg.End {
+			break
+		}
+		if msg.Data == nil {
+			res.err = fmt.Errorf("unexpected message %+v", msg)
+			return res
+		}
+		d := msg.Data
+		now := time.Now()
+		ideal := time.Duration(d.SendStep) * stepDur
+		if !anchored {
+			anchor = now.Add(-ideal)
+			anchored = true
+		}
+		res.lags = append(res.lags, float64(now.Sub(anchor.Add(ideal))/time.Microsecond))
+		res.bytes += int64(len(d.Payload))
+		if int(d.Arrival) > maxFrame {
+			maxFrame = int(d.Arrival)
+		}
+		flush(int(d.SendStep) - 1)
+		if err := rcv.Ingest(d); err != nil {
+			res.err = err
+			return res
+		}
+	}
+	flush(maxFrame + int(acc.Delay))
+	res.stats.LateBytes = rcv.LateBytes()
+	res.stats.MaxBuffer = rcv.MaxOccupancy()
+	res.elapsed = time.Since(begin)
+
+	// Rebase the lags on the session's fastest message: the anchor message
+	// itself may have been delayed (e.g. by the connection burst), which
+	// would make everything after it look early. After rebasing, lag is
+	// non-negative jitter behind the best-case pacing schedule.
+	min := 0.0
+	for _, l := range res.lags {
+		if l < min {
+			min = l
+		}
+	}
+	for i := range res.lags {
+		res.lags[i] -= min
+	}
+	return res
+}
+
+func report(results []result, wall time.Duration) {
+	completed, failed := 0, 0
+	var bytes int64
+	var lags []float64
+	incomplete, late := 0, 0
+	maxIncomplete, played := 0, 0
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			continue
+		}
+		completed++
+		bytes += r.bytes
+		lags = append(lags, r.lags...)
+		played += r.stats.Played
+		incomplete += r.stats.Incomplete
+		late += r.stats.LateBytes
+		if r.stats.Incomplete > maxIncomplete {
+			maxIncomplete = r.stats.Incomplete
+		}
+	}
+	secs := wall.Seconds()
+	fmt.Printf("sessions:   %d completed, %d failed in %v (%.1f sessions/s)\n",
+		completed, failed, wall.Round(time.Millisecond), float64(completed)/secs)
+	fmt.Printf("throughput: %d payload bytes (%.1f KB/s aggregate)\n",
+		bytes, float64(bytes)/1024/secs)
+	if len(lags) > 0 {
+		q := stats.Quantiles(lags, 0.50, 0.99)
+		fmt.Printf("step lag:   p50 %s, p99 %s  (%d messages)\n",
+			fmtMicros(q[0]), fmtMicros(q[1]), len(lags))
+	}
+	if completed > 0 {
+		fmt.Printf("loss:       %d slices played, %d incomplete (mean %.2f/session, max %d), %d late bytes\n",
+			played, incomplete, float64(incomplete)/float64(completed), maxIncomplete, late)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fmtMicros(us float64) string {
+	return time.Duration(us * float64(time.Microsecond)).Round(10 * time.Microsecond).String()
+}

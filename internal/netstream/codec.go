@@ -12,6 +12,22 @@
 //
 // The wire format is a simple length-delimited binary protocol
 // (big-endian, stdlib encoding/binary), versioned and magic-tagged.
+//
+// # Encoding and aliasing contract
+//
+// The hot wire paths are allocation-free in steady state:
+//
+//   - Encoder accumulates every message of one model step in a reused
+//     buffer and hands the whole batch to the writer in a single Write
+//     call (one syscall per step instead of one per message).
+//   - Decoder reuses a payload scratch buffer; the Msg it returns — in
+//     particular Msg.Data and Msg.Data.Payload — aliases decoder-owned
+//     memory that the next call overwrites. Callers that retain a message
+//     across calls must copy (Receiver.Ingest copies payload bytes
+//     immediately, so the receive loops in this package are safe).
+//   - The one-shot WriteHello/WriteAccept/WriteData/WriteEnd helpers draw
+//     their staging buffers from a sync.Pool, and ReadMsg returns fresh
+//     memory the caller owns.
 package netstream
 
 import (
@@ -20,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Protocol constants.
@@ -40,6 +57,13 @@ const (
 	msgAccept = 2
 	msgData   = 3
 	msgEnd    = 4
+)
+
+// Fixed message body lengths (excluding the one-byte tag).
+const (
+	helloBodyLen  = 16
+	acceptBodyLen = 16
+	dataHeadLen   = 32 // fixed Data fields, before the payload length + bytes
 )
 
 // Hello is the client's opening message: it advertises its buffer and the
@@ -92,28 +116,67 @@ type Msg struct {
 // ErrBadMagic reports a Hello with the wrong magic or version.
 var ErrBadMagic = errors.New("netstream: bad magic or protocol version")
 
+// ---------------------------------------------------------------------------
+// Append-style encoders (shared by Encoder and the pooled Write helpers).
+// ---------------------------------------------------------------------------
+
+func appendHello(buf []byte, h Hello) []byte {
+	buf = append(buf, msgHello)
+	buf = binary.BigEndian.AppendUint32(buf, Magic)
+	buf = binary.BigEndian.AppendUint32(buf, Version)
+	buf = binary.BigEndian.AppendUint32(buf, h.ClientBuffer)
+	return binary.BigEndian.AppendUint32(buf, h.DesiredDelay)
+}
+
+func appendAccept(buf []byte, a Accept) []byte {
+	buf = append(buf, msgAccept)
+	buf = binary.BigEndian.AppendUint32(buf, a.Rate)
+	buf = binary.BigEndian.AppendUint32(buf, a.Delay)
+	buf = binary.BigEndian.AppendUint32(buf, a.ServerBuffer)
+	return binary.BigEndian.AppendUint32(buf, a.StepMicros)
+}
+
+func appendData(buf []byte, d *Data) []byte {
+	buf = append(buf, msgData)
+	buf = binary.BigEndian.AppendUint32(buf, d.StreamID)
+	buf = binary.BigEndian.AppendUint32(buf, d.SliceID)
+	buf = binary.BigEndian.AppendUint32(buf, d.Arrival)
+	buf = binary.BigEndian.AppendUint32(buf, d.Size)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.Weight))
+	buf = binary.BigEndian.AppendUint32(buf, d.SendStep)
+	buf = binary.BigEndian.AppendUint32(buf, d.Offset)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(d.Payload)))
+	return append(buf, d.Payload...)
+}
+
+// encBufPool holds staging buffers for the one-shot Write helpers so a
+// handshake or a sporadic standalone WriteData does not allocate.
+var encBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// maxPooledBuf caps the staging buffers retained by the pool (and the batch
+// buffer retained by an Encoder across flushes): anything larger is left for
+// the collector rather than pinned forever.
+const maxPooledBuf = 1 << 20
+
+func writePooled(w io.Writer, fill func([]byte) []byte) error {
+	bp := encBufPool.Get().(*[]byte)
+	buf := fill((*bp)[:0])
+	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+	}
+	encBufPool.Put(bp)
+	return err
+}
+
 // WriteHello writes a Hello message.
 func WriteHello(w io.Writer, h Hello) error {
-	buf := make([]byte, 1+4+4+4+4)
-	buf[0] = msgHello
-	binary.BigEndian.PutUint32(buf[1:], Magic)
-	binary.BigEndian.PutUint32(buf[5:], Version)
-	binary.BigEndian.PutUint32(buf[9:], h.ClientBuffer)
-	binary.BigEndian.PutUint32(buf[13:], h.DesiredDelay)
-	_, err := w.Write(buf)
-	return err
+	return writePooled(w, func(buf []byte) []byte { return appendHello(buf, h) })
 }
 
 // WriteAccept writes an Accept message.
 func WriteAccept(w io.Writer, a Accept) error {
-	buf := make([]byte, 1+4*4)
-	buf[0] = msgAccept
-	binary.BigEndian.PutUint32(buf[1:], a.Rate)
-	binary.BigEndian.PutUint32(buf[5:], a.Delay)
-	binary.BigEndian.PutUint32(buf[9:], a.ServerBuffer)
-	binary.BigEndian.PutUint32(buf[13:], a.StepMicros)
-	_, err := w.Write(buf)
-	return err
+	return writePooled(w, func(buf []byte) []byte { return appendAccept(buf, a) })
 }
 
 // WriteData writes a Data message.
@@ -121,21 +184,7 @@ func WriteData(w io.Writer, d Data) error {
 	if len(d.Payload) > MaxPayload {
 		return fmt.Errorf("netstream: payload %d exceeds limit %d", len(d.Payload), MaxPayload)
 	}
-	head := make([]byte, 1+4*7+8)
-	head[0] = msgData
-	binary.BigEndian.PutUint32(head[1:], d.StreamID)
-	binary.BigEndian.PutUint32(head[5:], d.SliceID)
-	binary.BigEndian.PutUint32(head[9:], d.Arrival)
-	binary.BigEndian.PutUint32(head[13:], d.Size)
-	binary.BigEndian.PutUint64(head[17:], math.Float64bits(d.Weight))
-	binary.BigEndian.PutUint32(head[25:], d.SendStep)
-	binary.BigEndian.PutUint32(head[29:], d.Offset)
-	binary.BigEndian.PutUint32(head[33:], uint32(len(d.Payload)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	_, err := w.Write(d.Payload)
-	return err
+	return writePooled(w, func(buf []byte) []byte { return appendData(buf, &d) })
 }
 
 // WriteEnd writes the end-of-stream marker.
@@ -144,62 +193,222 @@ func WriteEnd(w io.Writer) error {
 	return err
 }
 
-// ReadMsg reads and decodes the next message.
-func ReadMsg(r io.Reader) (Msg, error) {
-	var tag [1]byte
-	if _, err := io.ReadFull(r, tag[:]); err != nil {
+// ---------------------------------------------------------------------------
+// Encoder: batched, allocation-free message encoding.
+// ---------------------------------------------------------------------------
+
+// Encoder accumulates encoded messages in one reused buffer and writes the
+// whole batch with a single Write on Flush — the writev-style coalescing
+// the serving engine relies on: all Data messages a session emits in one
+// model step cost one syscall. Steady-state encoding allocates nothing.
+//
+// An Encoder is not safe for concurrent use.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an encoder batching writes to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// PutHello appends a Hello message to the batch.
+func (e *Encoder) PutHello(h Hello) { e.buf = appendHello(e.buf, h) }
+
+// PutAccept appends an Accept message to the batch.
+func (e *Encoder) PutAccept(a Accept) { e.buf = appendAccept(e.buf, a) }
+
+// PutData appends a Data message to the batch. The payload bytes are copied
+// into the batch buffer, so the caller may reuse them immediately.
+func (e *Encoder) PutData(d *Data) error {
+	if len(d.Payload) > MaxPayload {
+		return fmt.Errorf("netstream: payload %d exceeds limit %d", len(d.Payload), MaxPayload)
+	}
+	e.buf = appendData(e.buf, d)
+	return nil
+}
+
+// PutEnd appends the end-of-stream marker to the batch.
+func (e *Encoder) PutEnd() { e.buf = append(e.buf, msgEnd) }
+
+// Buffered returns the number of bytes batched but not yet flushed.
+func (e *Encoder) Buffered() int { return len(e.buf) }
+
+// Flush writes the batched messages with one Write call and resets the
+// batch. Flushing an empty batch is a no-op.
+func (e *Encoder) Flush() error {
+	if len(e.buf) == 0 {
+		return nil
+	}
+	_, err := e.w.Write(e.buf)
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil // don't pin a pathological step forever
+	} else {
+		e.buf = e.buf[:0]
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+func decodeHello(buf []byte) (Hello, error) {
+	if binary.BigEndian.Uint32(buf[0:]) != Magic || binary.BigEndian.Uint32(buf[4:]) != Version {
+		return Hello{}, ErrBadMagic
+	}
+	return Hello{
+		ClientBuffer: binary.BigEndian.Uint32(buf[8:]),
+		DesiredDelay: binary.BigEndian.Uint32(buf[12:]),
+	}, nil
+}
+
+func decodeAccept(buf []byte) Accept {
+	return Accept{
+		Rate:         binary.BigEndian.Uint32(buf[0:]),
+		Delay:        binary.BigEndian.Uint32(buf[4:]),
+		ServerBuffer: binary.BigEndian.Uint32(buf[8:]),
+		StepMicros:   binary.BigEndian.Uint32(buf[12:]),
+	}
+}
+
+// decodeDataHead fills everything but the payload and returns the declared
+// payload length.
+func decodeDataHead(buf []byte, d *Data) (int, error) {
+	n := binary.BigEndian.Uint32(buf[32:])
+	if n > MaxPayload {
+		return 0, fmt.Errorf("netstream: payload length %d exceeds limit %d", n, MaxPayload)
+	}
+	d.StreamID = binary.BigEndian.Uint32(buf[0:])
+	d.SliceID = binary.BigEndian.Uint32(buf[4:])
+	d.Arrival = binary.BigEndian.Uint32(buf[8:])
+	d.Size = binary.BigEndian.Uint32(buf[12:])
+	d.Weight = math.Float64frombits(binary.BigEndian.Uint64(buf[16:]))
+	d.SendStep = binary.BigEndian.Uint32(buf[24:])
+	d.Offset = binary.BigEndian.Uint32(buf[28:])
+	return int(n), nil
+}
+
+// readBody reads a fixed-length message body, turning a mid-message EOF
+// into a descriptive error (only a clean EOF before any tag byte is a
+// legitimate end of stream).
+func readBody(r io.Reader, buf []byte, what string) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("netstream: truncated %s: %w", what, err)
+	}
+	return nil
+}
+
+// Decoder reads protocol messages with reused decode state: one scratch
+// buffer receives every Data payload, so a steady-state receive loop
+// allocates nothing per message.
+//
+// Aliasing contract: the Msg returned by Next — including Msg.Hello,
+// Msg.Accept, Msg.Data and Msg.Data.Payload — points into decoder-owned
+// memory that the next Next call overwrites. Retain across calls only by
+// copying. A Decoder is not safe for concurrent use.
+type Decoder struct {
+	r       io.Reader
+	head    [36]byte
+	hello   Hello
+	accept  Accept
+	data    Data
+	scratch []byte
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Next reads and decodes the next message. See the Decoder aliasing
+// contract. io.EOF is returned verbatim only at a clean message boundary;
+// truncation inside a message yields a descriptive error wrapping
+// io.ErrUnexpectedEOF.
+func (dec *Decoder) Next() (Msg, error) {
+	if _, err := io.ReadFull(dec.r, dec.head[:1]); err != nil {
 		return Msg{}, err
 	}
-	switch tag[0] {
+	switch dec.head[0] {
 	case msgHello:
-		var buf [16]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err := readBody(dec.r, dec.head[:helloBodyLen], "hello"); err != nil {
 			return Msg{}, err
 		}
-		if binary.BigEndian.Uint32(buf[0:]) != Magic || binary.BigEndian.Uint32(buf[4:]) != Version {
-			return Msg{}, ErrBadMagic
+		h, err := decodeHello(dec.head[:helloBodyLen])
+		if err != nil {
+			return Msg{}, err
 		}
-		return Msg{Hello: &Hello{
-			ClientBuffer: binary.BigEndian.Uint32(buf[8:]),
-			DesiredDelay: binary.BigEndian.Uint32(buf[12:]),
-		}}, nil
+		dec.hello = h
+		return Msg{Hello: &dec.hello}, nil
 	case msgAccept:
-		var buf [16]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err := readBody(dec.r, dec.head[:acceptBodyLen], "accept"); err != nil {
 			return Msg{}, err
 		}
-		return Msg{Accept: &Accept{
-			Rate:         binary.BigEndian.Uint32(buf[0:]),
-			Delay:        binary.BigEndian.Uint32(buf[4:]),
-			ServerBuffer: binary.BigEndian.Uint32(buf[8:]),
-			StepMicros:   binary.BigEndian.Uint32(buf[12:]),
-		}}, nil
+		dec.accept = decodeAccept(dec.head[:acceptBodyLen])
+		return Msg{Accept: &dec.accept}, nil
 	case msgData:
-		var buf [36]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err := readBody(dec.r, dec.head[:dataHeadLen+4], "data header"); err != nil {
 			return Msg{}, err
 		}
-		n := binary.BigEndian.Uint32(buf[32:])
-		if n > MaxPayload {
-			return Msg{}, fmt.Errorf("netstream: payload length %d exceeds limit", n)
+		n, err := decodeDataHead(dec.head[:dataHeadLen+4], &dec.data)
+		if err != nil {
+			return Msg{}, err
 		}
-		d := &Data{
-			StreamID: binary.BigEndian.Uint32(buf[0:]),
-			SliceID:  binary.BigEndian.Uint32(buf[4:]),
-			Arrival:  binary.BigEndian.Uint32(buf[8:]),
-			Size:     binary.BigEndian.Uint32(buf[12:]),
-			Weight:   math.Float64frombits(binary.BigEndian.Uint64(buf[16:])),
-			SendStep: binary.BigEndian.Uint32(buf[24:]),
-			Offset:   binary.BigEndian.Uint32(buf[28:]),
-			Payload:  make([]byte, n),
+		if cap(dec.scratch) < n {
+			dec.scratch = make([]byte, n)
 		}
-		if _, err := io.ReadFull(r, d.Payload); err != nil {
+		dec.data.Payload = dec.scratch[:n]
+		if err := readBody(dec.r, dec.data.Payload, "data payload"); err != nil {
+			return Msg{}, err
+		}
+		return Msg{Data: &dec.data}, nil
+	case msgEnd:
+		return Msg{End: true}, nil
+	default:
+		return Msg{}, fmt.Errorf("netstream: unknown message tag %d", dec.head[0])
+	}
+}
+
+// ReadMsg reads and decodes the next message. Unlike Decoder.Next, the
+// returned message owns its memory; use a Decoder on hot receive loops.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var head [36]byte
+	if _, err := io.ReadFull(r, head[:1]); err != nil {
+		return Msg{}, err
+	}
+	switch head[0] {
+	case msgHello:
+		if err := readBody(r, head[:helloBodyLen], "hello"); err != nil {
+			return Msg{}, err
+		}
+		h, err := decodeHello(head[:helloBodyLen])
+		if err != nil {
+			return Msg{}, err
+		}
+		return Msg{Hello: &h}, nil
+	case msgAccept:
+		if err := readBody(r, head[:acceptBodyLen], "accept"); err != nil {
+			return Msg{}, err
+		}
+		a := decodeAccept(head[:acceptBodyLen])
+		return Msg{Accept: &a}, nil
+	case msgData:
+		if err := readBody(r, head[:dataHeadLen+4], "data header"); err != nil {
+			return Msg{}, err
+		}
+		d := &Data{}
+		n, err := decodeDataHead(head[:dataHeadLen+4], d)
+		if err != nil {
+			return Msg{}, err
+		}
+		d.Payload = make([]byte, n)
+		if err := readBody(r, d.Payload, "data payload"); err != nil {
 			return Msg{}, err
 		}
 		return Msg{Data: d}, nil
 	case msgEnd:
 		return Msg{End: true}, nil
 	default:
-		return Msg{}, fmt.Errorf("netstream: unknown message tag %d", tag[0])
+		return Msg{}, fmt.Errorf("netstream: unknown message tag %d", head[0])
 	}
 }

@@ -5,30 +5,51 @@ import (
 	"testing"
 )
 
-// FuzzReadMsg feeds arbitrary bytes to the wire decoder: it must never
-// panic or over-allocate, and every message it accepts must re-encode to
-// bytes the decoder reads back identically.
+// FuzzReadMsg feeds arbitrary bytes to both wire decoders (the allocating
+// ReadMsg and the scratch-reusing Decoder): they must never panic or
+// over-allocate, must agree with each other message for message, and every
+// message they accept must re-encode to bytes the decoder reads back
+// identically.
 func FuzzReadMsg(f *testing.F) {
 	// Seed with each valid message type.
 	var seed bytes.Buffer
 	_ = WriteHello(&seed, Hello{ClientBuffer: 7, DesiredDelay: 3})
-	f.Add(append([]byte{}, seed.Bytes()...))
+	helloBytes := append([]byte{}, seed.Bytes()...)
+	f.Add(append([]byte{}, helloBytes...))
 	seed.Reset()
 	_ = WriteAccept(&seed, Accept{Rate: 1, Delay: 2, ServerBuffer: 2, StepMicros: 1000})
 	f.Add(append([]byte{}, seed.Bytes()...))
 	seed.Reset()
 	_ = WriteData(&seed, Data{SliceID: 1, Size: 2, Payload: []byte{1, 2}})
-	f.Add(append([]byte{}, seed.Bytes()...))
+	dataBytes := append([]byte{}, seed.Bytes()...)
+	f.Add(append([]byte{}, dataBytes...))
 	f.Add([]byte{msgEnd})
 	f.Add([]byte{msgData, 0xff, 0xff})
 	f.Add([]byte{99, 1, 2, 3})
+	// The codec error paths, as explicit corpus entries: truncated header,
+	// bad magic, bad version, oversized length field, unknown tag.
+	f.Add(append([]byte{}, helloBytes[:3]...))               // truncated hello header
+	f.Add(append([]byte{}, dataBytes[:10]...))               // truncated data header
+	f.Add(append([]byte{}, dataBytes[:len(dataBytes)-1]...)) // truncated payload
+	f.Add(corrupt(helloBytes, 1))                            // bad magic
+	f.Add(corrupt(helloBytes, 8))                            // bad version
+	f.Add(oversizedData())                                   // length field > MaxPayload
+	f.Add([]byte{0x7f})                                      // unknown tag, no body
 
 	f.Fuzz(func(t *testing.T, input []byte) {
 		r := bytes.NewReader(input)
+		dec := NewDecoder(bytes.NewReader(input))
 		for {
 			msg, err := ReadMsg(r)
+			dmsg, derr := dec.Next()
+			if (err == nil) != (derr == nil) {
+				t.Fatalf("ReadMsg err %v but Decoder err %v", err, derr)
+			}
 			if err != nil {
 				return // any error is fine; panics are not
+			}
+			if !msgEqual(msg, dmsg) {
+				t.Fatalf("decoders disagree: %+v vs %+v", msg, dmsg)
 			}
 			// Round-trip whatever was decoded.
 			var buf bytes.Buffer

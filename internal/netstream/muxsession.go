@@ -185,8 +185,9 @@ func ReceiveMux(r io.Reader, delay, streams int) (*MuxStats, error) {
 		}
 		return nil
 	}
+	dec := NewDecoder(r)
 	for {
-		msg, err := ReadMsg(r)
+		msg, err := dec.Next()
 		if err != nil {
 			return stats, err
 		}

@@ -48,20 +48,7 @@ func Serve(conn io.ReadWriter, clip *trace.Clip, weights trace.WeightMap, cfg Se
 	if msg.Hello == nil {
 		return fmt.Errorf("netstream: expected hello, got %+v", msg)
 	}
-	delay := int(msg.Hello.DesiredDelay)
-	if delay <= 0 || delay > cfg.MaxDelay {
-		delay = cfg.MaxDelay
-	}
-	// B = R·D, but no larger than the client can buffer (Section 3.3:
-	// making only one buffer bigger does not help).
-	buffer := cfg.Rate * delay
-	if cb := int(msg.Hello.ClientBuffer); cb > 0 && buffer > cb {
-		buffer = cb / cfg.Rate * cfg.Rate
-		if buffer < cfg.Rate {
-			buffer = cfg.Rate
-		}
-		delay = buffer / cfg.Rate
-	}
+	delay, buffer := NegotiateSession(*msg.Hello, cfg.Rate, cfg.MaxDelay)
 	if err := WriteAccept(conn, Accept{
 		Rate:         uint32(cfg.Rate),
 		Delay:        uint32(delay),
@@ -103,6 +90,27 @@ func Serve(conn io.ReadWriter, clip *trace.Clip, weights trace.WeightMap, cfg Se
 }
 
 func senderDone(s *Sender) bool { return s.Backlog() == 0 }
+
+// NegotiateSession fixes the session parameters from a client Hello: the
+// smoothing delay is the client's desired delay clamped to (0, maxDelay],
+// and B = R·D — the paper's law — additionally capped by the client's
+// advertised buffer (Section 3.3: making only one buffer bigger does not
+// help). It returns the negotiated delay and server buffer.
+func NegotiateSession(h Hello, rate, maxDelay int) (delay, buffer int) {
+	delay = int(h.DesiredDelay)
+	if delay <= 0 || delay > maxDelay {
+		delay = maxDelay
+	}
+	buffer = rate * delay
+	if cb := int(h.ClientBuffer); cb > 0 && buffer > cb {
+		buffer = cb / rate * rate
+		if buffer < rate {
+			buffer = rate
+		}
+		delay = buffer / rate
+	}
+	return delay, buffer
+}
 
 // SynthPayload deterministically fills a payload of the given size for a
 // slice ID, so receivers can verify content integrity end to end.
@@ -182,8 +190,12 @@ func Receive(conn io.ReadWriter, clientBuffer, desiredDelay int, onPlay func(Pla
 			}
 		}
 	}
+	// Decoder reuses one payload scratch buffer across messages; Ingest
+	// copies the bytes out immediately, so the aliasing is safe and the
+	// receive loop is allocation-free in steady state.
+	dec := NewDecoder(conn)
 	for {
-		msg, err := ReadMsg(conn)
+		msg, err := dec.Next()
 		if err != nil {
 			return stats, fmt.Errorf("netstream: mid-stream: %w", err)
 		}

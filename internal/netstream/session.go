@@ -3,7 +3,6 @@ package netstream
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/drop"
@@ -26,9 +25,14 @@ type SenderConfig struct {
 
 // Sender pushes a stream of slices through a smoothing buffer onto a wire.
 // Drive it step by step with Tick; the caller provides per-step arrivals
-// and owns the clock (wall-clock pacing lives in Serve).
+// and owns the clock (wall-clock pacing lives in Serve and in the sharded
+// engine of internal/serve).
+//
+// All Data messages emitted by one Tick are coalesced into a single Write
+// call on the underlying writer (see Encoder), so a session costs one
+// syscall per step regardless of how many slices it advances.
 type Sender struct {
-	w        io.Writer
+	enc      *Encoder
 	server   *core.Server
 	delay    int
 	step     int
@@ -37,6 +41,7 @@ type Sender struct {
 	meta     map[int]stream.Slice
 	streamOf map[int]int  // substream tag per live slice
 	seen     map[int]bool // all slice IDs ever offered (uniqueness guard)
+	scratch  []stream.Slice
 }
 
 // TickStats reports what one step did.
@@ -60,7 +65,7 @@ func NewSender(w io.Writer, cfg SenderConfig) (*Sender, error) {
 		policy = cfg.Policy
 	}
 	return &Sender{
-		w:        w,
+		enc:      NewEncoder(w),
 		server:   core.NewServer(cfg.ServerBuffer, cfg.Rate, policy(), core.ServerOptions{}),
 		delay:    cfg.Delay,
 		payload:  make(map[int][]byte),
@@ -91,11 +96,12 @@ type Offered struct {
 }
 
 // Tick advances one model step: the arrivals join the buffer, up to R
-// payload bytes are framed and written to the wire, and overflow is shed
-// via the drop policy. Slice IDs must be unique across the session.
+// payload bytes are framed and batched, and overflow is shed via the drop
+// policy; the whole batch then goes to the wire in one Write. Slice IDs
+// must be unique across the session.
 func (s *Sender) Tick(arrivals []Offered) (TickStats, error) {
-	slices := make([]stream.Slice, len(arrivals))
-	for i, a := range arrivals {
+	s.scratch = s.scratch[:0]
+	for _, a := range arrivals {
 		if len(a.Payload) != a.Slice.Size {
 			return TickStats{}, fmt.Errorf("netstream: slice %d payload %d bytes, size says %d",
 				a.Slice.ID, len(a.Payload), a.Slice.Size)
@@ -104,19 +110,19 @@ func (s *Sender) Tick(arrivals []Offered) (TickStats, error) {
 			return TickStats{}, fmt.Errorf("netstream: duplicate slice ID %d", a.Slice.ID)
 		}
 		s.seen[a.Slice.ID] = true
-		slices[i] = a.Slice
+		s.scratch = append(s.scratch, a.Slice)
 		s.payload[a.Slice.ID] = a.Payload
 		s.meta[a.Slice.ID] = a.Slice
 		s.streamOf[a.Slice.ID] = a.StreamID
 	}
-	res := s.server.Step(s.step, slices)
+	res := s.server.Step(s.step, s.scratch)
 	for _, b := range res.Sent {
 		sl := s.meta[b.SliceID]
 		off := s.sent[b.SliceID]
 		chunk := s.payload[b.SliceID][:b.Bytes]
 		s.payload[b.SliceID] = s.payload[b.SliceID][b.Bytes:]
 		s.sent[b.SliceID] = off + b.Bytes
-		err := WriteData(s.w, Data{
+		err := s.enc.PutData(&Data{
 			StreamID: uint32(s.streamOf[b.SliceID]),
 			SliceID:  uint32(b.SliceID),
 			Arrival:  uint32(sl.Arrival),
@@ -141,6 +147,10 @@ func (s *Sender) Tick(arrivals []Offered) (TickStats, error) {
 		delete(s.sent, d.ID)
 		delete(s.meta, d.ID)
 		delete(s.streamOf, d.ID)
+	}
+	// One Write per step: everything this step framed leaves together.
+	if err := s.enc.Flush(); err != nil {
+		return TickStats{}, err
 	}
 	s.step++
 	// res.Dropped aliases a buffer the server reuses next Step; TickStats
@@ -167,7 +177,8 @@ func (s *Sender) Drain() (int, error) {
 		}
 		steps++
 	}
-	return steps, WriteEnd(s.w)
+	s.enc.PutEnd()
+	return steps, s.enc.Flush()
 }
 
 // ReceivedSlice is a fully reassembled slice ready for playout.
@@ -184,7 +195,10 @@ type ReceivedSlice struct {
 type PlayEvent struct {
 	// Step is the receiver's model step.
 	Step int
-	// Slices are the complete slices played this step, in ID order.
+	// Slices are the complete slices played this step, in the order their
+	// first bytes arrived on the wire — the sender's FIFO transmission
+	// order, which for every sender in this package coincides with slice
+	// ID order within a frame.
 	Slices []ReceivedSlice
 	// Incomplete counts slices of this frame that had bytes but were not
 	// fully delivered by the deadline (they are discarded).
@@ -276,7 +290,8 @@ func (r *Receiver) Play(step int) PlayEvent {
 	if frame > r.watermark {
 		r.watermark = frame
 	}
-	sort.Ints(ids)
+	// ids is already in wire-arrival order: byFrame appends on first byte
+	// seen, and the server queue transmits FIFO — no per-tick sort needed.
 	for _, id := range ids {
 		p := r.partial[id]
 		delete(r.partial, id)

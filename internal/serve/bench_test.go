@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// BenchmarkEngineStep measures one shard clock tick stepping many
+// registered sessions (the engine's unit of serving work): each session
+// advances its smoothing buffer one step, frames up to R payload bytes and
+// flushes them to its wire in one batched write. ns/op is the cost of one
+// tick over all sessions; divide by the session count for per-session cost.
+func BenchmarkEngineStep(b *testing.B) {
+	cfg := trace.DefaultGenConfig()
+	cfg.Frames = 200
+	clip, err := trace.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sessions := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			eng, err := newEngine(clip, trace.PaperWeights(), Config{
+				Rate:         2 * int(clip.AverageRate()),
+				Shards:       1,
+				StepDuration: time.Millisecond, // never ticks: we drive the shard manually
+				MaxDelay:     16,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sh := eng.shards[0]
+			register := func() {
+				for i := 0; i < sessions; i++ {
+					s, err := eng.newSession(io.Discard, 16, 16*eng.cfg.Rate)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sh.enqueue(s)
+				}
+			}
+			register()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sh.step()
+				if len(sh.sessions) == 0 {
+					// Every session drained to End: refill off the clock.
+					b.StopTimer()
+					register()
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			eng.Close()
+		})
+	}
+}

@@ -1,0 +1,423 @@
+// Package serve is the sharded multi-session serving engine: the
+// production-shaped deployment of the paper's Fig. 1 system. Instead of one
+// goroutine and one time.Ticker per connection (netstream.Serve), the
+// engine runs N shard loops, each driven by a single clock that steps every
+// session registered on the shard. Sessions are assigned to shards by
+// connection hash, and all of a session's per-step work — arrivals, the
+// smoothing-buffer step, framing, the batched wire flush — happens on its
+// shard goroutine, so sessions need no locks of their own.
+//
+// Per-session output is completely determined by the clip, the drop policy
+// and the negotiated (B, R, D): shard assignment only decides *which*
+// goroutine advances a session's private clock, so the byte stream a client
+// sees is identical for any shard count (engine_test.go locks this down,
+// mirroring the sweep engine's worker-count invariance).
+package serve
+
+import (
+	"fmt"
+	"hash/maphash"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/drop"
+	"repro/internal/netstream"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Rate is R in payload bytes per model step. Required.
+	Rate int
+	// Shards is the number of shard loops (default GOMAXPROCS).
+	Shards int
+	// MaxSessions caps concurrently registered sessions across all shards
+	// (0 = unlimited); Handle rejects connections beyond it.
+	MaxSessions int
+	// StepDuration is the wall-clock length of one model step.
+	// Defaults to 40ms (25 frames/second).
+	StepDuration time.Duration
+	// MaxDelay caps the smoothing delay granted to a client, in steps.
+	// Defaults to 64.
+	MaxDelay int
+	// Policy selects the drop policy (default drop.Greedy).
+	Policy drop.Factory
+	// WriteTimeout bounds each batched wire flush so one dead client
+	// cannot stall its shard forever. Defaults to 30s; negative disables.
+	WriteTimeout time.Duration
+	// OnSessionDone, if non-nil, is called from the shard goroutine after
+	// a session ends (err is nil for a clean drain to End).
+	OnSessionDone func(s SessionStats, err error)
+}
+
+// SessionStats summarizes one finished session.
+type SessionStats struct {
+	// Remote is the peer address, when known.
+	Remote string
+	// Steps is the number of model steps the session ran.
+	Steps int
+	// Dropped is the number of slices shed by the smoothing buffer.
+	Dropped int
+	// Elapsed is the wall-clock session duration from registration.
+	Elapsed time.Duration
+}
+
+// Engine serves one clip to many concurrent sessions over shard loops.
+type Engine struct {
+	cfg      Config
+	st       *stream.Stream
+	payloads [][]byte // per-slice synthesized payload, shared by all sessions
+	shards   []*shard
+	seed     maphash.Seed
+
+	active  atomic.Int64
+	served  atomic.Int64
+	closing atomic.Bool
+	sessWG  sync.WaitGroup // live sessions
+	loopWG  sync.WaitGroup // shard loops
+	stop    sync.Once
+}
+
+// New builds an engine for the clip and starts its shard loops.
+func New(clip *trace.Clip, weights trace.WeightMap, cfg Config) (*Engine, error) {
+	e, err := newEngine(clip, weights, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range e.shards {
+		e.loopWG.Add(1)
+		go sh.run()
+	}
+	return e, nil
+}
+
+// newEngine builds the engine without starting the shard clocks; tests and
+// benchmarks drive the shards manually via shard.step.
+func newEngine(clip *trace.Clip, weights trace.WeightMap, cfg Config) (*Engine, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("serve: rate %d", cfg.Rate)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.StepDuration <= 0 {
+		cfg.StepDuration = 40 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 64
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	st, err := trace.WholeFrameStream(clip, weights)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, st: st, seed: maphash.MakeSeed()}
+	// Payload bytes depend only on (slice ID, size): synthesize them once
+	// and share across every session instead of per session per step.
+	e.payloads = make([][]byte, st.Len())
+	for id := 0; id < st.Len(); id++ {
+		e.payloads[id] = netstream.SynthPayload(id, st.Slice(id).Size)
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		e.shards[i] = &shard{eng: e, quit: make(chan struct{})}
+	}
+	return e, nil
+}
+
+// Rate returns the configured link rate in payload bytes per step.
+func (e *Engine) Rate() int { return e.cfg.Rate }
+
+// Shards returns the number of shard loops.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ActiveSessions returns the number of sessions currently registered.
+func (e *Engine) ActiveSessions() int { return int(e.active.Load()) }
+
+// ServedSessions returns the number of sessions finished since start.
+func (e *Engine) ServedSessions() int { return int(e.served.Load()) }
+
+// Handle performs the netstream handshake on the caller's goroutine (the
+// Hello read blocks), registers the session on a shard chosen by connection
+// hash, and returns; the shard clock drives the session to completion and
+// closes the connection. On rejection (engine draining, session limit, bad
+// handshake) the connection is closed and an error returned.
+func (e *Engine) Handle(conn net.Conn) error {
+	if e.closing.Load() {
+		conn.Close()
+		return fmt.Errorf("serve: engine is draining")
+	}
+	if max := e.cfg.MaxSessions; max > 0 && e.active.Load() >= int64(max) {
+		conn.Close()
+		return fmt.Errorf("serve: session limit %d reached", max)
+	}
+	msg, err := netstream.ReadMsg(conn)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("serve: reading hello: %w", err)
+	}
+	if msg.Hello == nil {
+		conn.Close()
+		return fmt.Errorf("serve: expected hello, got %+v", msg)
+	}
+	delay, buffer := netstream.NegotiateSession(*msg.Hello, e.cfg.Rate, e.cfg.MaxDelay)
+	if err := netstream.WriteAccept(conn, netstream.Accept{
+		Rate:         uint32(e.cfg.Rate),
+		Delay:        uint32(delay),
+		ServerBuffer: uint32(buffer),
+		StepMicros:   uint32(e.cfg.StepDuration / time.Microsecond),
+	}); err != nil {
+		conn.Close()
+		return fmt.Errorf("serve: writing accept: %w", err)
+	}
+	w := io.Writer(conn)
+	if e.cfg.WriteTimeout > 0 {
+		w = deadlineWriter{c: conn, d: e.cfg.WriteTimeout}
+	}
+	s, err := e.newSession(w, delay, buffer)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	s.conn = conn
+	s.remote = conn.RemoteAddr().String()
+	sh := e.shards[e.shardOf(s.remote)]
+	if !sh.enqueue(s) {
+		e.unregister(s)
+		conn.Close()
+		return fmt.Errorf("serve: engine is draining")
+	}
+	return nil
+}
+
+// shardOf picks the shard for a connection by hashing its remote address.
+func (e *Engine) shardOf(remote string) int {
+	var h maphash.Hash
+	h.SetSeed(e.seed)
+	h.WriteString(remote)
+	return int(h.Sum64() % uint64(len(e.shards)))
+}
+
+// newSession builds a registered session writing to w. The caller (or the
+// shard loop, once enqueued) is responsible for eventually calling finish.
+func (e *Engine) newSession(w io.Writer, delay, buffer int) (*session, error) {
+	snd, err := netstream.NewSender(w, netstream.SenderConfig{
+		ServerBuffer: buffer,
+		Rate:         e.cfg.Rate,
+		Delay:        delay,
+		Policy:       e.cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &session{eng: e, w: w, snd: snd, start: time.Now()}
+	e.active.Add(1)
+	e.sessWG.Add(1)
+	return s, nil
+}
+
+// unregister reverses newSession's accounting without counting the session
+// as served (used when registration fails after the fact).
+func (e *Engine) unregister(s *session) {
+	e.active.Add(-1)
+	e.sessWG.Done()
+}
+
+// Drain stops admitting sessions and waits up to timeout for the in-flight
+// ones to finish their streams. It reports whether everything completed.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	e.closing.Store(true)
+	done := make(chan struct{})
+	go func() { e.sessWG.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Close stops the shard loops, aborting any session still in flight (its
+// connection is closed mid-stream). Safe to call after Drain and more than
+// once.
+func (e *Engine) Close() {
+	e.closing.Store(true)
+	e.stop.Do(func() {
+		for _, sh := range e.shards {
+			close(sh.quit)
+		}
+	})
+	e.loopWG.Wait()
+}
+
+// errAborted reports a session cut off by Close before its stream drained.
+var errAborted = fmt.Errorf("serve: engine closed mid-stream")
+
+// ---------------------------------------------------------------------------
+// Shards.
+// ---------------------------------------------------------------------------
+
+// shard owns a set of sessions and the single clock that steps them. Only
+// the registration queue is shared (guarded by mu); everything else runs on
+// the shard goroutine.
+type shard struct {
+	eng  *Engine
+	quit chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	incoming []*session
+
+	sessions []*session
+}
+
+// enqueue hands a freshly handshaken session to the shard loop. It reports
+// false if the shard has already shut down.
+func (sh *shard) enqueue(s *session) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.draining {
+		return false
+	}
+	sh.incoming = append(sh.incoming, s)
+	return true
+}
+
+// run is the shard loop: one ticker, one step for every session per tick.
+func (sh *shard) run() {
+	defer sh.eng.loopWG.Done()
+	tk := time.NewTicker(sh.eng.cfg.StepDuration)
+	defer tk.Stop()
+	for {
+		select {
+		case <-sh.quit:
+			sh.shutdown()
+			return
+		case <-tk.C:
+			sh.step()
+		}
+	}
+}
+
+// admit moves newly registered sessions onto the shard goroutine.
+func (sh *shard) admit() {
+	sh.mu.Lock()
+	inc := sh.incoming
+	sh.incoming = nil
+	sh.mu.Unlock()
+	sh.sessions = append(sh.sessions, inc...)
+}
+
+// step advances every session on the shard by one model step, retiring the
+// ones that finished or failed.
+func (sh *shard) step() {
+	sh.admit()
+	live := sh.sessions[:0]
+	for _, s := range sh.sessions {
+		done, err := s.stepOnce()
+		if done || err != nil {
+			s.finish(err)
+		} else {
+			live = append(live, s)
+		}
+	}
+	for i := len(live); i < len(sh.sessions); i++ {
+		sh.sessions[i] = nil // release finished sessions to the collector
+	}
+	sh.sessions = live
+}
+
+// shutdown aborts every session still registered on the shard.
+func (sh *shard) shutdown() {
+	sh.mu.Lock()
+	sh.draining = true
+	inc := sh.incoming
+	sh.incoming = nil
+	sh.mu.Unlock()
+	sh.sessions = append(sh.sessions, inc...)
+	for _, s := range sh.sessions {
+		s.finish(errAborted)
+	}
+	sh.sessions = nil
+}
+
+// ---------------------------------------------------------------------------
+// Sessions.
+// ---------------------------------------------------------------------------
+
+// session is one client's paced stream. All fields are owned by the shard
+// goroutine after registration; no locking.
+type session struct {
+	eng     *Engine
+	conn    net.Conn // nil in tests/benchmarks that drive a bare writer
+	w       io.Writer
+	remote  string
+	snd     *netstream.Sender
+	start   time.Time
+	step    int
+	dropped int
+	offers  []netstream.Offered // reused per step
+}
+
+// stepOnce runs one model step: offer this step's arrivals, tick the
+// smoothing buffer (which batches and flushes the wire writes), and finish
+// with the End marker once the horizon is past and the buffer is drained.
+func (s *session) stepOnce() (done bool, err error) {
+	e := s.eng
+	s.offers = s.offers[:0]
+	if s.step <= e.st.Horizon() {
+		for _, sl := range e.st.ArrivalsAt(s.step) {
+			s.offers = append(s.offers, netstream.Offered{Slice: sl, Payload: e.payloads[sl.ID]})
+		}
+	}
+	stats, err := s.snd.Tick(s.offers)
+	if err != nil {
+		return false, err
+	}
+	s.dropped += len(stats.Dropped)
+	s.step++
+	if s.step > e.st.Horizon() && s.snd.Backlog() == 0 {
+		return true, netstream.WriteEnd(s.w)
+	}
+	return false, nil
+}
+
+// finish closes the session's connection and reports it done.
+func (s *session) finish(err error) {
+	if s.conn != nil {
+		s.conn.Close()
+	}
+	e := s.eng
+	e.active.Add(-1)
+	e.served.Add(1)
+	e.sessWG.Done()
+	if e.cfg.OnSessionDone != nil {
+		e.cfg.OnSessionDone(SessionStats{
+			Remote:  s.remote,
+			Steps:   s.step,
+			Dropped: s.dropped,
+			Elapsed: time.Since(s.start),
+		}, err)
+	}
+}
+
+// deadlineWriter arms a write deadline before every flush so a stalled
+// client errors out instead of blocking its whole shard.
+type deadlineWriter struct {
+	c net.Conn
+	d time.Duration
+}
+
+func (w deadlineWriter) Write(p []byte) (int, error) {
+	if err := w.c.SetWriteDeadline(time.Now().Add(w.d)); err != nil {
+		return 0, err
+	}
+	return w.c.Write(p)
+}

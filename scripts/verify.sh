@@ -26,4 +26,9 @@ go test ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke"
+# One iteration of every benchmark so they cannot bit-rot; timings are
+# meaningless at -benchtime 1x and intentionally discarded.
+go test -run NONE -bench . -benchtime 1x ./... > /dev/null
+
 echo "verify: OK"
