@@ -1,0 +1,26 @@
+// Smoothvet is the project's vet tool: a go vet -vettool multichecker
+// enforcing the contracts that keep the hot paths fast and the experiments
+// reproducible — aliasing of reused result buffers, schedule determinism,
+// zero-allocation step paths, and error/deadline hygiene on the wire.
+//
+// Usage:
+//
+//	go build -o bin/smoothvet ./cmd/smoothvet
+//	go vet -vettool=bin/smoothvet ./...
+//
+// Individual analyzers can be toggled the usual vet way, e.g.
+// go vet -vettool=bin/smoothvet -hotpath=false ./... . See DESIGN.md
+// ("Enforced invariants") for the contract each analyzer guards.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/unitcheck"
+)
+
+// analyzers returns the suite in registration order; main_test locks the
+// exact set so a refactor cannot silently drop a checker.
+func analyzers() []*framework.Analyzer { return analysis.All() }
+
+func main() { unitcheck.Main(analyzers()...) }

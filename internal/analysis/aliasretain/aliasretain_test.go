@@ -1,0 +1,11 @@
+package aliasretain
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAliasRetain(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "aliasdata")
+}

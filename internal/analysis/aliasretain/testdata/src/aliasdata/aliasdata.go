@@ -1,0 +1,95 @@
+// Package aliasdata seeds aliasing-contract violations against an
+// in-package //smoothvet:aliased API shaped like core.Server.Step.
+package aliasdata
+
+type result struct {
+	sent    []int
+	dropped []string
+	n       int
+}
+
+type server struct {
+	sent []int
+	last []int
+}
+
+// Step returns buffers the server overwrites on the next call.
+//
+//smoothvet:aliased
+func (s *server) Step() result {
+	s.sent = s.sent[:0]
+	return result{sent: s.sent}
+}
+
+type payload struct{ b []byte }
+
+type msg struct{ data *payload }
+
+// next returns a message whose payload is decoder-owned scratch.
+//
+//smoothvet:aliased
+func next() msg { return msg{data: &payload{}} }
+
+var global []int
+
+func use(xs []int) int { return len(xs) }
+
+// ok reads the borrow within the step and copies before keeping anything.
+func ok(s *server) int {
+	res := s.Step()
+	total := 0
+	for _, v := range res.sent { // ok: element copies
+		total += v
+	}
+	cp := append([]int(nil), res.sent...) // ok: spread copies the elements
+	total += use(res.sent)                // ok: borrow for the call's duration
+	total += len(cp)
+	return res.n // ok: scalar projection
+}
+
+func retain(s *server) []int {
+	res := s.Step()
+	s.last = res.sent // want `storing res\.sent in s\.last retains memory reused by`
+	global = res.sent // want `storing res\.sent in package variable global retains`
+	var batches [][]int
+	batches = append(batches, res.sent) // want `appending res\.sent as an element retains`
+	ch := make(chan []int, 1)
+	ch <- res.sent // want `sending res\.sent on a channel retains`
+	_ = batches
+	return res.sent // want `returning res\.sent leaks memory reused by`
+}
+
+func mutate(s *server) {
+	res := s.Step()
+	res.sent[0] = 9 // want `writing into res\.sent mutates memory owned by`
+	res2 := s.Step()
+	copy(res2.sent, res.dropped2()) // want `copying into res2\.sent overwrites memory owned by`
+	_ = append(res.sent, 5)         // want `appending to res\.sent may write into memory owned by`
+	m := next()
+	m.data.b = nil // want `writing m\.data\.b mutates memory owned by`
+}
+
+func (r result) dropped2() []int { return nil }
+
+// indirect taints a plain local and catches the escape one hop later.
+func indirect(s *server) {
+	res := s.Step()
+	x := res.sent // taints x
+	global = x    // want `storing x in package variable global retains`
+}
+
+// retaint shows a clean overwrite clearing the borrow.
+func retaint(s *server) {
+	res := s.Step()
+	x := res.sent
+	x = make([]int, 4) // clean overwrite clears the taint
+	global = x         // ok: x no longer borrows
+}
+
+// propagate re-exports the borrow under its own aliased contract.
+//
+//smoothvet:aliased
+func propagate(s *server) []int {
+	res := s.Step()
+	return res.sent // ok: this function is annotated aliased itself
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs a framework.Analyzer over a testdata package
+// and checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest (reimplemented on the
+// standard library; see package framework for why).
+//
+// Layout: each analyzer keeps testdata/src/<pkg>/*.go packages. A want
+// comment anchors one or more expected diagnostics to its own line:
+//
+//	rand.Intn(6) // want `global math/rand`
+//	x := f()     // want `regexp one` `regexp two`
+//
+// Expectations are backquoted or double-quoted regular expressions matched
+// against the diagnostic message; every diagnostic must be expected and
+// every expectation must fire, or the test fails. Testdata packages may
+// import only the standard library (they are type-checked with the source
+// importer so the harness needs no compiled artifacts).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// TestData returns the calling test's testdata/src root as an absolute path.
+func TestData() string {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// expectation is one unconsumed // want entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// Run analyzes dir/<pkg> for each named package and compares diagnostics
+// with the // want comments in its sources.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(dir, pkg), pkg, a)
+	}
+}
+
+func runOne(t *testing.T, dir, pkgpath string, a *framework.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", a.Name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", a.Name, dir)
+	}
+
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {}, // collect every error via Check's return
+	}
+	info := framework.NewInfo()
+	typPkg, err := tc.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typecheck %s: %v", a.Name, pkgpath, err)
+	}
+
+	want := collectWants(t, fset, files)
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       typPkg,
+		TypesInfo: info,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: run: %v", a.Name, err)
+	}
+
+	// Match each diagnostic to an expectation on its line.
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		file := filepath.Base(posn.Filename)
+		matched := false
+		for _, w := range want {
+			if w.re == nil || w.file != file || w.line != posn.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consume
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, file, posn.Line, d.Message)
+		}
+	}
+	var unmet []string
+	for _, w := range want {
+		if w.re != nil {
+			unmet = append(unmet, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw))
+		}
+	}
+	sort.Strings(unmet)
+	for _, u := range unmet {
+		t.Errorf("%s: %s", a.Name, u)
+	}
+}
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllString(text[i+len("// want "):], -1) {
+					var pat string
+					if m[0] == '`' {
+						pat = m[1 : len(m)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("bad want string %s at %s: %v", m, posn, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want regexp %q at %s: %v", pat, posn, err)
+					}
+					out = append(out, &expectation{
+						file: filepath.Base(posn.Filename),
+						line: posn.Line,
+						re:   re,
+						raw:  pat,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

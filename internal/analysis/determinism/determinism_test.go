@@ -1,0 +1,14 @@
+package determinism
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	old := Scope
+	Scope = append(append([]string(nil), old...), "determscope")
+	defer func() { Scope = old }()
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "determscope")
+}

@@ -1,0 +1,14 @@
+package errloss
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrLoss(t *testing.T) {
+	old := Scope
+	Scope = append(append([]string(nil), old...), "errlossdata")
+	defer func() { Scope = old }()
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "errlossdata")
+}

@@ -1,0 +1,45 @@
+// Package errlossdata seeds dropped-error and missing-write-deadline
+// violations; the analyzer's test adds this package to errloss.Scope.
+package errlossdata
+
+import "time"
+
+// conn is the structural shape of net.Conn's write half; declared locally
+// so the testdata stays stdlib-only.
+type conn interface {
+	Write(p []byte) (int, error)
+	SetWriteDeadline(t time.Time) error
+	Close() error
+}
+
+type plainWriter interface {
+	Write(p []byte) (int, error)
+}
+
+func doClose(c conn) {
+	c.Close()       // want `c\.Close returns an error that is silently dropped`
+	_ = c.Close()   // ok: explicit discard
+	defer c.Close() // ok: deferred cleanup is exempt
+}
+
+func goDrop(c conn) {
+	go c.Close() // want `c\.Close returns an error that is silently dropped`
+}
+
+func write(c conn, p []byte) error {
+	if err := c.SetWriteDeadline(time.Time{}.Add(time.Second)); err != nil {
+		return err
+	}
+	_, err := c.Write(p) // ok: deadline armed above
+	return err
+}
+
+func writeNoDeadline(c conn, p []byte) error {
+	_, err := c.Write(p) // want `write to c without arming SetWriteDeadline`
+	return err
+}
+
+func plainOK(w plainWriter, p []byte) error {
+	_, err := w.Write(p) // ok: not deadline-capable
+	return err
+}

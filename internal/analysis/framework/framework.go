@@ -1,0 +1,70 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools go/analysis vocabulary (Analyzer, Pass, Diagnostic),
+// just large enough to host the smoothvet analyzers.
+//
+// The build environment for this repository is hermetic — the module has no
+// network access and an empty module cache — so the canonical x/tools
+// packages cannot be vendored in. The subset here keeps the same shape and
+// field names as go/analysis on purpose: should x/tools become available,
+// each analyzer ports by changing one import line.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph documentation shown by -flags consumers.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's worth of parsed and type-checked input to an
+// Analyzer's Run function, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report is invoked for each diagnostic; set by the driver.
+	Report func(Diagnostic)
+
+	// markers caches ParseMarkers results for the pass (built lazily).
+	markers *Markers
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated. Drivers (the vet unitcheck driver and the analysistest
+// harness) share it so passes always see fully populated type facts.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

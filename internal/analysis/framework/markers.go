@@ -1,0 +1,191 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// smoothvet annotations are machine-readable contract markers written in
+// doc comments:
+//
+//	//smoothvet:aliased        — the function's results alias receiver-owned
+//	                             memory that later calls overwrite; callers
+//	                             must copy before retaining (aliasretain).
+//	//smoothvet:noalloc        — the function is a steady-state-zero-alloc
+//	                             hot path (hotpath).
+//	//smoothvet:deterministic  — the function's observable output must not
+//	                             depend on wall clock, global randomness or
+//	                             goroutine scheduling (determinism).
+//	//smoothvet:ordered        — written on (or directly above) a map range
+//	                             statement: the author asserts iteration
+//	                             order cannot leak into output (determinism
+//	                             suppression, meant to be rare and audited).
+const (
+	MarkerAliased       = "aliased"
+	MarkerNoAlloc       = "noalloc"
+	MarkerDeterministic = "deterministic"
+	MarkerOrdered       = "ordered"
+)
+
+const markerPrefix = "//smoothvet:"
+
+// Markers indexes the smoothvet annotations of one package.
+type Markers struct {
+	fset  *token.FileSet
+	funcs map[*ast.FuncDecl][]string
+	// byObj maps the *types.Func of a same-package declaration to its decl.
+	byObj map[*types.Func]*ast.FuncDecl
+	// orderedLines records "file:line" positions carrying the ordered
+	// marker (the marker's own line and the one directly below it, so both
+	// "above the statement" and "trailing on the statement" placements hit
+	// the range statement's line).
+	orderedLines map[string]bool
+}
+
+// ParseMarkers scans the pass's files once and caches the result.
+func (p *Pass) ParseMarkers() *Markers {
+	if p.markers != nil {
+		return p.markers
+	}
+	m := &Markers{
+		fset:         p.Fset,
+		funcs:        make(map[*ast.FuncDecl][]string),
+		byObj:        make(map[*types.Func]*ast.FuncDecl),
+		orderedLines: make(map[string]bool),
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, markerPrefix) {
+					continue
+				}
+				name := markerName(c.Text)
+				if name != MarkerOrdered {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				m.orderedLines[lineKey(pos.Filename, pos.Line)] = true
+				m.orderedLines[lineKey(pos.Filename, pos.Line+1)] = true
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var names []string
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, markerPrefix) {
+					names = append(names, markerName(c.Text))
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			m.funcs[fd] = names
+			if obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				m.byObj[obj] = fd
+			}
+		}
+	}
+	p.markers = m
+	return m
+}
+
+func markerName(text string) string {
+	name := strings.TrimPrefix(text, markerPrefix)
+	if i := strings.IndexAny(name, " \t"); i >= 0 {
+		name = name[:i]
+	}
+	return name
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// FuncDecls returns the declared functions carrying the given marker.
+func (m *Markers) FuncDecls(marker string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for fd, names := range m.funcs {
+		for _, n := range names {
+			if n == marker {
+				out = append(out, fd)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OrderedAt reports whether the position is covered by a //smoothvet:ordered
+// suppression comment.
+func (m *Markers) OrderedAt(pos token.Pos) bool {
+	p := m.fset.Position(pos)
+	return m.orderedLines[lineKey(p.Filename, p.Line)]
+}
+
+// FuncHasMarker reports whether the function object's declaration carries
+// the marker. Same-package declarations are answered from the parsed AST;
+// declarations in other packages (reached through export data, which
+// strips comments) are answered by reading the declaring source file at
+// obj.Pos and scanning the comment block directly above the declaration.
+func (m *Markers) FuncHasMarker(obj *types.Func, marker string) bool {
+	if obj == nil {
+		return false
+	}
+	if fd, ok := m.byObj[obj]; ok {
+		for _, n := range m.funcs[fd] {
+			if n == marker {
+				return true
+			}
+		}
+		return false
+	}
+	pos := m.fset.Position(obj.Pos())
+	if !pos.IsValid() || pos.Filename == "" {
+		return false
+	}
+	return fileHasMarkerAbove(pos.Filename, pos.Line, marker)
+}
+
+// declMarkerCache caches the split lines of source files consulted for
+// cross-package marker lookups, shared across passes within a process.
+var declMarkerCache sync.Map // filename -> []string (nil if unreadable)
+
+// fileHasMarkerAbove reports whether the comment block directly above
+// declLine in the file contains //smoothvet:<marker>. It tolerates files
+// that cannot be read (the answer is then false): annotations outside the
+// module — where no smoothvet contract can exist — resolve to no marker.
+func fileHasMarkerAbove(filename string, declLine int, marker string) bool {
+	var lines []string
+	if v, ok := declMarkerCache.Load(filename); ok {
+		lines = v.([]string)
+	} else {
+		data, err := os.ReadFile(filename)
+		if err != nil {
+			declMarkerCache.Store(filename, []string(nil))
+			return false
+		}
+		lines = strings.Split(string(data), "\n")
+		declMarkerCache.Store(filename, lines)
+	}
+	want := markerPrefix + marker
+	// Scan the contiguous comment block above the declaration line
+	// (declLine is 1-based; lines is 0-based).
+	for i := declLine - 2; i >= 0 && i < len(lines); i-- {
+		t := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(t, "//") {
+			break
+		}
+		if t == want || strings.HasPrefix(t, want+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package hotpath
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "hotpathdata")
+}

@@ -1,0 +1,276 @@
+// Package unitcheck drives framework analyzers under "go vet -vettool".
+//
+// It speaks the vet tool protocol that cmd/go expects (the same contract
+// golang.org/x/tools/go/analysis/unitchecker implements, reproduced here on
+// the standard library alone because the module builds hermetically):
+//
+//   - "-V=full" prints a version line keyed to the tool binary's content
+//     hash, so the go command's result cache invalidates when the tool
+//     changes;
+//   - "-flags" prints the tool's flags as JSON for cmd/go to validate
+//     user-supplied analyzer flags against;
+//   - otherwise the single positional argument is a JSON *.cfg file
+//     describing one package unit: its Go files, the import map, and the
+//     export-data file of every dependency. The tool parses and
+//     type-checks the unit (resolving imports through the export data via
+//     go/importer), runs the analyzers, prints diagnostics to stderr as
+//     "file:line:col: message (analyzer)", and exits nonzero if any fired.
+//
+// Facts are not supported: the smoothvet analyzers resolve cross-package
+// annotations by reading the declaring source file at the object's
+// position (see framework.Markers), so no fact serialization is needed.
+// The fact file (VetxOutput) demanded by cmd/go is written empty.
+package unitcheck
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Config is the JSON unit description cmd/go hands the vet tool. Field
+// names and meanings follow x/tools' unitchecker.Config, which cmd/go
+// treats as the interface contract.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vet tool protocol over the given analyzers and exits.
+func Main(analyzers ...*framework.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	var enabled = make(map[string]*bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoking %s directly is unsupported; use "go vet -vettool=%s [packages]"`,
+			progname, progname)
+	}
+
+	var keep []*framework.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			keep = append(keep, a)
+		}
+	}
+	os.Exit(run(args[0], keep))
+}
+
+// versionFlag implements -V=full: the go command runs the tool once with
+// this flag and caches vet results keyed on the reported build ID, so the
+// ID must change whenever the tool binary does — a content hash delivers
+// that without build-system cooperation.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return false }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+// printFlags emits the registered flags as the JSON array cmd/go parses to
+// validate pass-through analyzer flags.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// run analyzes one unit and returns the process exit code.
+func run(cfgFile string, analyzers []*framework.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	// cmd/go expects the fact file regardless of outcome; smoothvet keeps
+	// no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency units are analyzed only for facts; with none kept
+		// there is nothing to do.
+		return 0
+	}
+	if len(cfg.GoFiles) == 0 {
+		// Unsafe and cgo-only units arrive file-less; nothing to analyze.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	pkg, info, err := typecheck(fset, cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Print(err)
+		return 1
+	}
+
+	exit := 0
+	for _, a := range analyzers {
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d framework.Diagnostic) {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, name)
+			exit = 1
+		}
+		if err := a.Run(pass); err != nil {
+			log.Printf("%s: %v", a.Name, err)
+			return 1
+		}
+	}
+	return exit
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typecheck resolves the unit against the export data named in the config.
+func typecheck(fset *token.FileSet, cfg *Config, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(importPath string) (io.ReadCloser, error) {
+		// Resolve vendoring and test-variant mappings first.
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+	}
+	var allErrs []error
+	tc.Error = func(err error) { allErrs = append(allErrs, err) }
+	info := framework.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		msgs := make([]string, 0, len(allErrs))
+		for _, e := range allErrs {
+			msgs = append(msgs, e.Error())
+		}
+		sort.Strings(msgs)
+		return nil, nil, fmt.Errorf("typecheck %s: %s", cfg.ImportPath, strings.Join(msgs, "; "))
+	}
+	return pkg, info, nil
+}

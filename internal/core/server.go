@@ -111,6 +111,9 @@ func (sv *Server) Empty() bool { return sv.occ == 0 }
 // Step executes one time step t: accept arrivals, transmit up to R bytes in
 // FIFO order, then discard slices per the policy until occupancy is within
 // the buffer (Eqs. 2–3 of the paper, with whole-slice drops).
+//
+//smoothvet:aliased
+//smoothvet:noalloc
 func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
 	// Reuse the result backing arrays from the previous step (see the
 	// ServerStepResult aliasing contract).
@@ -201,6 +204,8 @@ func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
 
 // dropLate proactively discards queued, not-yet-started slices whose
 // deadline (arrival + D) has already passed.
+//
+//smoothvet:noalloc
 func (sv *Server) dropLate(t int) {
 	for i := sv.head; i < len(sv.queue); i++ {
 		e := &sv.queue[i]
@@ -216,6 +221,8 @@ func (sv *Server) dropLate(t int) {
 }
 
 // removeByID marks the slice dropped and releases its bytes.
+//
+//smoothvet:noalloc
 func (sv *Server) removeByID(id int) {
 	i, ok := sv.pos[id]
 	if !ok {
@@ -232,6 +239,8 @@ func (sv *Server) removeByID(id int) {
 
 // advanceHead moves past the head entry and compacts the queue when more
 // than half of it is dead, keeping memory proportional to live entries.
+//
+//smoothvet:noalloc
 func (sv *Server) advanceHead() {
 	if i, ok := sv.pos[sv.queue[sv.head].s.ID]; ok && i == sv.head {
 		delete(sv.pos, sv.queue[sv.head].s.ID)

@@ -178,15 +178,18 @@ func TableDecode(c Config) (*Table, error) {
 	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		row := map[string]float64{}
-		for name, f := range map[string]drop.Factory{"taildrop": drop.TailDrop, "greedy": drop.Greedy} {
-			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+		for _, p := range []struct {
+			name string
+			f    drop.Factory
+		}{{"taildrop", drop.TailDrop}, {"greedy", drop.Greedy}} {
+			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: p.f})
 			if err != nil {
 				return nil, err
 			}
 			// Whole-frame slices: slice ID == frame index.
 			stats := trace.Decodability(cl, func(i int) bool { return s.Outcomes[i].Played() })
-			row[name+"-delivered"] = 100 * float64(stats.Delivered) / float64(stats.Total)
-			row[name+"-decodable"] = 100 * stats.DecodableFraction()
+			row[p.name+"-delivered"] = 100 * float64(stats.Delivered) / float64(stats.Total)
+			row[p.name+"-decodable"] = 100 * stats.DecodableFraction()
 		}
 		return row, nil
 	})

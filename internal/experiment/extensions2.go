@@ -45,14 +45,17 @@ func TableGlitch(c Config) (*Table, error) {
 	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		row := map[string]float64{}
-		for name, f := range map[string]drop.Factory{"taildrop": drop.TailDrop, "greedy": drop.Greedy} {
-			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+		for _, pol := range []struct {
+			name string
+			f    drop.Factory
+		}{{"taildrop", drop.TailDrop}, {"greedy", drop.Greedy}} {
+			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: pol.f})
 			if err != nil {
 				return nil, err
 			}
 			p := trace.Glitches(cl, func(i int) bool { return s.Outcomes[i].Played() })
-			row[name+"-glitches"] = p.PerKiloframe
-			row[name+"-longest"] = float64(p.Longest)
+			row[pol.name+"-glitches"] = p.PerKiloframe
+			row[pol.name+"-longest"] = float64(p.Longest)
 		}
 		return row, nil
 	})

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/drop"
@@ -128,9 +129,16 @@ func lossPct(benefit, total float64) float64 {
 // runPolicies simulates the stream under the given policies and returns the
 // benefit per policy name.
 func runPolicies(st *stream.Stream, B, R int, policies map[string]drop.Factory) (map[string]float64, error) {
+	// Iterate in sorted-name order so the first error surfaced (and any
+	// future per-policy side effect) is deterministic.
+	names := make([]string, 0, len(policies))
+	for name := range policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	out := make(map[string]float64, len(policies))
-	for name, f := range policies {
-		s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+	for _, name := range names {
+		s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: policies[name]})
 		if err != nil {
 			return nil, fmt.Errorf("policy %s: %w", name, err)
 		}

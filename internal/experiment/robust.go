@@ -53,13 +53,16 @@ func TableRobust(c Config) (*Table, error) {
 			}
 			R := rateFor(clip, 0.9)
 			B := bufferUnits(4 * clip.MaxFrameSize())
-			for name, f := range map[string]drop.Factory{"greedy": drop.Greedy, "taildrop": drop.TailDrop} {
-				s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+			for _, p := range []struct {
+				name string
+				f    drop.Factory
+			}{{"greedy", drop.Greedy}, {"taildrop", drop.TailDrop}} {
+				s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: p.f})
 				if err != nil {
 					return Row{}, err
 				}
 				loss := 100 * s.WeightedLoss()
-				switch name {
+				switch p.name {
 				case "greedy":
 					gMin = math.Min(gMin, loss)
 					gMax = math.Max(gMax, loss)

@@ -28,6 +28,8 @@ import (
 // that is deterministically the first failing point in order). A panicking
 // point is contained and reported as an error rather than tearing down the
 // process.
+//
+//smoothvet:deterministic
 func Sweep[P, R any](workers int, points []P, fn func(i int, p P) (R, error)) ([]R, error) {
 	n := len(points)
 	if n == 0 {
@@ -95,6 +97,8 @@ func runPoint[P, R any](fn func(int, P) (R, error), i int, p P) (r R, err error)
 
 // sweepRows is the shape shared by most experiments: one row per float64
 // x point, appended to the table in point order.
+//
+//smoothvet:deterministic
 func (t *Table) sweepRows(c Config, xs []float64, fn func(x float64) (map[string]float64, error)) error {
 	rows, err := Sweep(c.Workers, xs, func(_ int, x float64) (Row, error) {
 		y, err := fn(x)
@@ -112,6 +116,8 @@ func (t *Table) sweepRows(c Config, xs []float64, fn func(x float64) (map[string
 
 // sweepRowsInt is sweepRows for integer-valued x axes (delays, buffer
 // sizes, stream counts).
+//
+//smoothvet:deterministic
 func (t *Table) sweepRowsInt(c Config, xs []int, fn func(x int) (map[string]float64, error)) error {
 	rows, err := Sweep(c.Workers, xs, func(_ int, x int) (Row, error) {
 		y, err := fn(x)

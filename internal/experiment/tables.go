@@ -369,14 +369,15 @@ func TableOnlineLowerBound(c Config) (*Table, error) {
 	}
 	err := t.sweepRows(c, []float64{2, 4.015}, func(alpha float64) (map[string]float64, error) {
 		row := map[string]float64{"predicted-lb": competitive.PredictedOnlineLB(alpha)}
-		for name, f := range map[string]drop.Factory{
-			"greedy": drop.Greedy, "taildrop": drop.TailDrop, "headdrop": drop.HeadDrop,
-		} {
-			res, err := competitive.OnlineLowerBoundGame(f, B, alpha, 3*B)
+		for _, p := range []struct {
+			name string
+			f    drop.Factory
+		}{{"greedy", drop.Greedy}, {"taildrop", drop.TailDrop}, {"headdrop", drop.HeadDrop}} {
+			res, err := competitive.OnlineLowerBoundGame(p.f, B, alpha, 3*B)
 			if err != nil {
 				return nil, err
 			}
-			row[name] = res.Ratio
+			row[p.name] = res.Ratio
 		}
 		rr, err := competitive.OnlineLowerBoundGameRandomized(func(trial int) drop.Factory {
 			return drop.RandomMix(c.Seed+int64(trial)*7919, 0.5)

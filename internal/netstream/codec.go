@@ -120,6 +120,7 @@ var ErrBadMagic = errors.New("netstream: bad magic or protocol version")
 // Append-style encoders (shared by Encoder and the pooled Write helpers).
 // ---------------------------------------------------------------------------
 
+//smoothvet:noalloc
 func appendHello(buf []byte, h Hello) []byte {
 	buf = append(buf, msgHello)
 	buf = binary.BigEndian.AppendUint32(buf, Magic)
@@ -128,6 +129,7 @@ func appendHello(buf []byte, h Hello) []byte {
 	return binary.BigEndian.AppendUint32(buf, h.DesiredDelay)
 }
 
+//smoothvet:noalloc
 func appendAccept(buf []byte, a Accept) []byte {
 	buf = append(buf, msgAccept)
 	buf = binary.BigEndian.AppendUint32(buf, a.Rate)
@@ -136,6 +138,7 @@ func appendAccept(buf []byte, a Accept) []byte {
 	return binary.BigEndian.AppendUint32(buf, a.StepMicros)
 }
 
+//smoothvet:noalloc
 func appendData(buf []byte, d *Data) []byte {
 	buf = append(buf, msgData)
 	buf = binary.BigEndian.AppendUint32(buf, d.StreamID)
@@ -219,6 +222,8 @@ func (e *Encoder) PutAccept(a Accept) { e.buf = appendAccept(e.buf, a) }
 
 // PutData appends a Data message to the batch. The payload bytes are copied
 // into the batch buffer, so the caller may reuse them immediately.
+//
+//smoothvet:noalloc
 func (e *Encoder) PutData(d *Data) error {
 	if len(d.Payload) > MaxPayload {
 		return fmt.Errorf("netstream: payload %d exceeds limit %d", len(d.Payload), MaxPayload)
@@ -235,6 +240,8 @@ func (e *Encoder) Buffered() int { return len(e.buf) }
 
 // Flush writes the batched messages with one Write call and resets the
 // batch. Flushing an empty batch is a no-op.
+//
+//smoothvet:noalloc
 func (e *Encoder) Flush() error {
 	if len(e.buf) == 0 {
 		return nil
@@ -273,6 +280,8 @@ func decodeAccept(buf []byte) Accept {
 
 // decodeDataHead fills everything but the payload and returns the declared
 // payload length.
+//
+//smoothvet:noalloc
 func decodeDataHead(buf []byte, d *Data) (int, error) {
 	n := binary.BigEndian.Uint32(buf[32:])
 	if n > MaxPayload {
@@ -291,6 +300,8 @@ func decodeDataHead(buf []byte, d *Data) (int, error) {
 // readBody reads a fixed-length message body, turning a mid-message EOF
 // into a descriptive error (only a clean EOF before any tag byte is a
 // legitimate end of stream).
+//
+//smoothvet:noalloc
 func readBody(r io.Reader, buf []byte, what string) error {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
@@ -325,6 +336,9 @@ func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
 // contract. io.EOF is returned verbatim only at a clean message boundary;
 // truncation inside a message yields a descriptive error wrapping
 // io.ErrUnexpectedEOF.
+//
+//smoothvet:aliased
+//smoothvet:noalloc
 func (dec *Decoder) Next() (Msg, error) {
 	if _, err := io.ReadFull(dec.r, dec.head[:1]); err != nil {
 		return Msg{}, err

@@ -341,6 +341,9 @@ func TestServeRejectsGarbageHello(t *testing.T) {
 		clip := &trace.Clip{Frames: []trace.Frame{{Index: 0, Type: trace.I, Size: 1}}}
 		done <- Serve(server, clip, trace.PaperWeights(), ServeConfig{Rate: 1})
 	}()
+	if err := client.SetWriteDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := client.Write([]byte{msgHello, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +351,7 @@ func TestServeRejectsGarbageHello(t *testing.T) {
 	if err == nil {
 		t.Error("garbage hello accepted")
 	}
-	client.Close()
+	_ = client.Close()
 	if !strings.Contains(err.Error(), "magic") && !strings.Contains(err.Error(), "hello") {
 		t.Errorf("unexpected error: %v", err)
 	}
@@ -395,7 +398,7 @@ func TestServeNegotiationBranches(t *testing.T) {
 				break
 			}
 		}
-		client.Close()
+		_ = client.Close()
 		<-done
 	}
 }

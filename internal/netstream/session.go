@@ -99,6 +99,8 @@ type Offered struct {
 // payload bytes are framed and batched, and overflow is shed via the drop
 // policy; the whole batch then goes to the wire in one Write. Slice IDs
 // must be unique across the session.
+//
+//smoothvet:noalloc
 func (s *Sender) Tick(arrivals []Offered) (TickStats, error) {
 	s.scratch = s.scratch[:0]
 	for _, a := range arrivals {

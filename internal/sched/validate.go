@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 )
 
 // ValidationError describes a single violation of the schedule model found
@@ -257,7 +258,14 @@ func (s *Schedule) validateSeries() error {
 			occ += b.n
 		}
 		// Client-side removals during step t: playouts and client drops.
-		for id, held := range buffered {
+		// Sorted so the first violation reported is deterministic.
+		ids := make([]int, 0, len(buffered))
+		for id := range buffered {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			held := buffered[id]
 			o := s.Outcomes[id]
 			if o.Played() && o.PlayTime == t {
 				if held != s.Stream.Slice(id).Size {

@@ -151,20 +151,20 @@ func (e *Engine) ServedSessions() int { return int(e.served.Load()) }
 // handshake) the connection is closed and an error returned.
 func (e *Engine) Handle(conn net.Conn) error {
 	if e.closing.Load() {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("serve: engine is draining")
 	}
 	if max := e.cfg.MaxSessions; max > 0 && e.active.Load() >= int64(max) {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("serve: session limit %d reached", max)
 	}
 	msg, err := netstream.ReadMsg(conn)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("serve: reading hello: %w", err)
 	}
 	if msg.Hello == nil {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("serve: expected hello, got %+v", msg)
 	}
 	delay, buffer := netstream.NegotiateSession(*msg.Hello, e.cfg.Rate, e.cfg.MaxDelay)
@@ -174,7 +174,7 @@ func (e *Engine) Handle(conn net.Conn) error {
 		ServerBuffer: uint32(buffer),
 		StepMicros:   uint32(e.cfg.StepDuration / time.Microsecond),
 	}); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("serve: writing accept: %w", err)
 	}
 	w := io.Writer(conn)
@@ -183,7 +183,7 @@ func (e *Engine) Handle(conn net.Conn) error {
 	}
 	s, err := e.newSession(w, delay, buffer)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return err
 	}
 	s.conn = conn
@@ -191,7 +191,7 @@ func (e *Engine) Handle(conn net.Conn) error {
 	sh := e.shards[e.shardOf(s.remote)]
 	if !sh.enqueue(s) {
 		e.unregister(s)
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("serve: engine is draining")
 	}
 	return nil
@@ -201,7 +201,7 @@ func (e *Engine) Handle(conn net.Conn) error {
 func (e *Engine) shardOf(remote string) int {
 	var h maphash.Hash
 	h.SetSeed(e.seed)
-	h.WriteString(remote)
+	_, _ = h.WriteString(remote) // never fails per hash.Hash contract
 	return int(h.Sum64() % uint64(len(e.shards)))
 }
 
@@ -317,6 +317,9 @@ func (sh *shard) admit() {
 
 // step advances every session on the shard by one model step, retiring the
 // ones that finished or failed.
+//
+//smoothvet:deterministic
+//smoothvet:noalloc
 func (sh *shard) step() {
 	sh.admit()
 	live := sh.sessions[:0]
@@ -369,6 +372,9 @@ type session struct {
 // stepOnce runs one model step: offer this step's arrivals, tick the
 // smoothing buffer (which batches and flushes the wire writes), and finish
 // with the End marker once the horizon is past and the buffer is drained.
+//
+//smoothvet:deterministic
+//smoothvet:noalloc
 func (s *session) stepOnce() (done bool, err error) {
 	e := s.eng
 	s.offers = s.offers[:0]
@@ -392,7 +398,7 @@ func (s *session) stepOnce() (done bool, err error) {
 // finish closes the session's connection and reports it done.
 func (s *session) finish(err error) {
 	if s.conn != nil {
-		s.conn.Close()
+		_ = s.conn.Close()
 	}
 	e := s.eng
 	e.active.Add(-1)

@@ -6,16 +6,22 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-unformatted=$(gofmt -l .)
+echo "== gofmt -s"
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
 
 echo "== go vet"
 go vet ./...
+
+echo "== smoothvet"
+# Project-specific analyzers (aliasing, determinism, hot-path allocations,
+# error hygiene); see DESIGN.md "Enforced invariants".
+go build -o bin/smoothvet ./cmd/smoothvet
+go vet -vettool=bin/smoothvet ./...
 
 echo "== go build"
 go build ./...
