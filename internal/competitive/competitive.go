@@ -68,7 +68,9 @@ func PredictedGreedyRatio(B int, alpha float64) float64 {
 // +Inf if the online benefit is zero while the optimum is positive, and 1
 // if both are zero.
 func MeasureRatio(st *stream.Stream, B, R int, factory drop.Factory) (ratio, online, opt float64, err error) {
-	s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: factory})
+	r := core.AcquireRunner()
+	defer core.ReleaseRunner(r)
+	s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R, Policy: factory})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -96,6 +98,18 @@ func MeasureRatio(st *stream.Stream, B, R int, factory drop.Factory) (ratio, onl
 	return ratio, online, opt, nil
 }
 
+// ratioOf applies MeasureRatio's zero conventions to a precomputed pair.
+func ratioOf(online, opt float64) float64 {
+	switch {
+	case online == 0 && opt == 0:
+		return 1
+	case online == 0:
+		return math.Inf(1)
+	default:
+		return opt / online
+	}
+}
+
 // GameResult reports the outcome of the Theorem 4.8 adversary game.
 type GameResult struct {
 	// Ratio is the best (largest) opt/online ratio the adversary found.
@@ -107,6 +121,47 @@ type GameResult struct {
 	Burst bool
 	// Online and Opt are the benefits in the winning scenario.
 	Online, Opt float64
+}
+
+// GameScenario is one fixed input of the Theorem 4.8 adversary game: the
+// scenario stream for a cut step together with its exact offline optimum.
+type GameScenario struct {
+	// StopStep is the cut step t1 of the scenario.
+	StopStep int
+	// Burst is true if the scenario appends the weight-alpha burst at t1+1.
+	Burst bool
+	// Stream is the scenario's arrival sequence.
+	Stream *stream.Stream
+	// Opt is the exact offline optimal benefit on Stream.
+	Opt float64
+}
+
+// GameScenarios builds the Theorem 4.8 scenario set for buffer B, weight
+// ratio alpha and cut steps 0..maxSteps, with each scenario's offline
+// optimum computed once. Playing the game against several policies (as
+// the onlinelb table does) shares this expensive part instead of
+// rebuilding every stream and re-solving every optimum per policy.
+func GameScenarios(B int, alpha float64, maxSteps int) ([]GameScenario, error) {
+	if B < 1 || alpha < 1 || maxSteps < 1 {
+		return nil, fmt.Errorf("competitive: invalid game parameters B=%d alpha=%v maxSteps=%d", B, alpha, maxSteps)
+	}
+	scenarios := make([]GameScenario, 0, 2*(maxSteps+1))
+	for t1 := 0; t1 <= maxSteps; t1++ {
+		for _, burst := range []bool{false, true} {
+			st, err := gameStream(B, alpha, t1, burst)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := offline.OptimalUnit(st, B, 1)
+			if err != nil {
+				return nil, err
+			}
+			scenarios = append(scenarios, GameScenario{
+				StopStep: t1, Burst: burst, Stream: st, Opt: opt.Benefit,
+			})
+		}
+	}
+	return scenarios, nil
 }
 
 // OnlineLowerBoundGame plays the adaptive adversary of Theorem 4.8 against
@@ -121,23 +176,27 @@ type GameResult struct {
 // scenario from scratch reproduces exactly the behaviour an adaptive
 // adversary would observe.
 func OnlineLowerBoundGame(factory drop.Factory, B int, alpha float64, maxSteps int) (GameResult, error) {
-	if B < 1 || alpha < 1 || maxSteps < 1 {
-		return GameResult{}, fmt.Errorf("competitive: invalid game parameters B=%d alpha=%v maxSteps=%d", B, alpha, maxSteps)
+	scenarios, err := GameScenarios(B, alpha, maxSteps)
+	if err != nil {
+		return GameResult{}, err
 	}
+	return OnlineLowerBoundGameOn(scenarios, B, factory)
+}
+
+// OnlineLowerBoundGameOn plays the adaptive adversary game over a
+// precomputed scenario set (see GameScenarios) with buffer B and rate 1.
+func OnlineLowerBoundGameOn(scenarios []GameScenario, B int, factory drop.Factory) (GameResult, error) {
+	r := core.AcquireRunner()
+	defer core.ReleaseRunner(r)
 	best := GameResult{Ratio: 0}
-	for t1 := 0; t1 <= maxSteps; t1++ {
-		for _, burst := range []bool{false, true} {
-			st, err := gameStream(B, alpha, t1, burst)
-			if err != nil {
-				return GameResult{}, err
-			}
-			ratio, online, opt, err := MeasureRatio(st, B, 1, factory)
-			if err != nil {
-				return GameResult{}, err
-			}
-			if ratio > best.Ratio {
-				best = GameResult{Ratio: ratio, StopStep: t1, Burst: burst, Online: online, Opt: opt}
-			}
+	for _, sc := range scenarios {
+		s, err := r.Run(sc.Stream, core.Config{ServerBuffer: B, Rate: 1, Policy: factory})
+		if err != nil {
+			return GameResult{}, err
+		}
+		online := s.Benefit()
+		if ratio := ratioOf(online, sc.Opt); ratio > best.Ratio {
+			best = GameResult{Ratio: ratio, StopStep: sc.StopStep, Burst: sc.Burst, Online: online, Opt: sc.Opt}
 		}
 	}
 	return best, nil
@@ -164,43 +223,39 @@ type RandomizedGameResult struct {
 //
 // policyFor must return a fresh policy per trial index (vary the seed).
 func OnlineLowerBoundGameRandomized(policyFor func(trial int) drop.Factory, B int, alpha float64, maxSteps, trials int) (RandomizedGameResult, error) {
-	if B < 1 || alpha < 1 || maxSteps < 1 || trials < 1 {
+	if trials < 1 {
 		return RandomizedGameResult{}, fmt.Errorf("competitive: invalid randomized game parameters")
 	}
+	scenarios, err := GameScenarios(B, alpha, maxSteps)
+	if err != nil {
+		return RandomizedGameResult{}, err
+	}
+	return OnlineLowerBoundGameRandomizedOn(scenarios, B, policyFor, trials)
+}
+
+// OnlineLowerBoundGameRandomizedOn plays the oblivious-adversary game over
+// a precomputed scenario set (see GameScenarios) with buffer B and rate 1.
+func OnlineLowerBoundGameRandomizedOn(scenarios []GameScenario, B int, policyFor func(trial int) drop.Factory, trials int) (RandomizedGameResult, error) {
+	if trials < 1 {
+		return RandomizedGameResult{}, fmt.Errorf("competitive: invalid randomized game parameters")
+	}
+	r := core.AcquireRunner()
+	defer core.ReleaseRunner(r)
 	best := RandomizedGameResult{}
-	for t1 := 0; t1 <= maxSteps; t1++ {
-		for _, burst := range []bool{false, true} {
-			st, err := gameStream(B, alpha, t1, burst)
+	for _, sc := range scenarios {
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			s, err := r.Run(sc.Stream, core.Config{ServerBuffer: B, Rate: 1, Policy: policyFor(trial)})
 			if err != nil {
 				return RandomizedGameResult{}, err
 			}
-			opt, err := offline.OptimalUnit(st, B, 1)
-			if err != nil {
-				return RandomizedGameResult{}, err
-			}
-			var sum float64
-			for trial := 0; trial < trials; trial++ {
-				s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: 1, Policy: policyFor(trial)})
-				if err != nil {
-					return RandomizedGameResult{}, err
-				}
-				sum += s.Benefit()
-			}
-			mean := sum / float64(trials)
-			var ratio float64
-			switch {
-			case mean == 0 && opt.Benefit == 0:
-				ratio = 1
-			case mean == 0:
-				ratio = math.Inf(1)
-			default:
-				ratio = opt.Benefit / mean
-			}
-			if ratio > best.Ratio {
-				best = RandomizedGameResult{
-					Ratio: ratio, StopStep: t1, Burst: burst,
-					MeanOnline: mean, Opt: opt.Benefit,
-				}
+			sum += s.Benefit()
+		}
+		mean := sum / float64(trials)
+		if ratio := ratioOf(mean, sc.Opt); ratio > best.Ratio {
+			best = RandomizedGameResult{
+				Ratio: ratio, StopStep: sc.StopStep, Burst: sc.Burst,
+				MeanOnline: mean, Opt: sc.Opt,
 			}
 		}
 	}

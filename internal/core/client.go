@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/stream"
 )
 
@@ -27,9 +25,17 @@ type Client struct {
 	linkDelay int
 	st        *stream.Stream
 
-	held    map[int]int  // slice ID -> bytes currently buffered
-	ignored map[int]bool // slice ID -> discard any further bytes
-	occ     int
+	// held[id] is the number of bytes of slice id currently buffered;
+	// 0 means not held (the link never delivers empty batches). ignored[id]
+	// marks slices whose fate is sealed (played or given up on), so stray
+	// late bytes are discarded. Slice IDs are dense per stream, so flat
+	// arrays sized st.Len() replace the maps the client originally used.
+	held    []int32
+	ignored []bool
+	// [heldLo, heldHi) bounds the IDs that may have held bytes; it only
+	// widens within a run and is used by the (rare) overflow scan.
+	heldLo, heldHi int
+	occ            int
 
 	// Reusable ClientStepResult backing arrays (see Step).
 	played  []int
@@ -59,14 +65,43 @@ type ClientStepResult struct {
 // frame map (which slices belong to which play step); a wire protocol would
 // carry the same information in headers.
 func NewClient(buffer, delay, linkDelay int, st *stream.Stream) *Client {
-	return &Client{
-		buffer:    buffer,
-		delay:     delay,
-		linkDelay: linkDelay,
-		st:        st,
-		held:      make(map[int]int),
-		ignored:   make(map[int]bool),
+	cl := &Client{}
+	cl.Reset(buffer, delay, linkDelay, st)
+	return cl
+}
+
+// Reset reinitializes the client for a new run over the given stream,
+// retaining grown backing arrays so repeated runs (core.Runner) allocate
+// nothing once the arrays cover the largest stream seen.
+//
+//smoothvet:noalloc
+func (cl *Client) Reset(buffer, delay, linkDelay int, st *stream.Stream) {
+	cl.buffer = buffer
+	cl.delay = delay
+	cl.linkDelay = linkDelay
+	cl.st = st
+	n := st.Len()
+	if cap(cl.held) < n {
+		cl.held = make([]int32, n)
+	} else {
+		// Clear the full capacity, not just [:n]: a previous, larger run
+		// may have left non-zero entries beyond this stream's length.
+		cl.held = cl.held[:cap(cl.held)]
+		clear(cl.held)
+		cl.held = cl.held[:n]
 	}
+	if cap(cl.ignored) < n {
+		cl.ignored = make([]bool, n)
+	} else {
+		cl.ignored = cl.ignored[:cap(cl.ignored)]
+		clear(cl.ignored)
+		cl.ignored = cl.ignored[:n]
+	}
+	cl.heldLo = n
+	cl.heldHi = 0
+	cl.occ = 0
+	cl.played = cl.played[:0]
+	cl.dropped = cl.dropped[:0]
 }
 
 // Occupancy returns the bytes currently buffered.
@@ -74,6 +109,9 @@ func (cl *Client) Occupancy() int { return cl.occ }
 
 // Step executes one time step t: accept delivered batches, play the frame
 // scheduled for t, then resolve any buffer overflow.
+//
+//smoothvet:aliased
+//smoothvet:noalloc
 func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
 	cl.played = cl.played[:0]
 	cl.dropped = cl.dropped[:0]
@@ -83,7 +121,15 @@ func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
 		if cl.ignored[b.SliceID] {
 			continue
 		}
-		cl.held[b.SliceID] += b.Bytes
+		if cl.held[b.SliceID] == 0 {
+			if b.SliceID < cl.heldLo {
+				cl.heldLo = b.SliceID
+			}
+			if b.SliceID+1 > cl.heldHi {
+				cl.heldHi = b.SliceID + 1
+			}
+		}
+		cl.held[b.SliceID] += int32(b.Bytes)
 		cl.occ += b.Bytes
 	}
 
@@ -93,16 +139,16 @@ func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
 		if cl.ignored[sl.ID] {
 			continue
 		}
-		if cl.held[sl.ID] == sl.Size {
+		if int(cl.held[sl.ID]) == sl.Size {
 			cl.played = append(cl.played, sl.ID)
 			cl.occ -= sl.Size
-			delete(cl.held, sl.ID)
+			cl.held[sl.ID] = 0
 			cl.ignored[sl.ID] = true
 			continue
 		}
 		cl.dropped = append(cl.dropped, sl.ID)
-		cl.occ -= cl.held[sl.ID]
-		delete(cl.held, sl.ID)
+		cl.occ -= int(cl.held[sl.ID])
+		cl.held[sl.ID] = 0
 		cl.ignored[sl.ID] = true
 	}
 
@@ -114,8 +160,8 @@ func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
 			break
 		}
 		cl.dropped = append(cl.dropped, victim)
-		cl.occ -= cl.held[victim]
-		delete(cl.held, victim)
+		cl.occ -= int(cl.held[victim])
+		cl.held[victim] = 0
 		cl.ignored[victim] = true
 	}
 
@@ -126,22 +172,19 @@ func (cl *Client) Step(t int, delivered []Batch) ClientStepResult {
 }
 
 // latestDeadlineHeld returns the buffered slice with the largest play time
-// (ties to the largest ID), or -1 if nothing is buffered. Linear scan:
-// overflow is rare and the buffer holds at most Bc bytes.
+// (ties to the largest ID), or -1 if nothing is buffered. Linear scan over
+// the held ID range: overflow is rare and the ascending scan with >= makes
+// the tie-break fall out for free.
+//
+//smoothvet:noalloc
 func (cl *Client) latestDeadlineHeld() int {
-	ids := make([]int, 0, len(cl.held))
-	for id := range cl.held {
-		ids = append(ids, id)
-	}
-	if len(ids) == 0 {
-		return -1
-	}
-	sort.Ints(ids)
 	best := -1
 	bestArrival := -1
-	for _, id := range ids {
-		a := cl.st.Slice(id).Arrival
-		if a > bestArrival || (a == bestArrival && id > best) {
+	for id := cl.heldLo; id < cl.heldHi; id++ {
+		if cl.held[id] == 0 {
+			continue
+		}
+		if a := cl.st.Slice(id).Arrival; a >= bestArrival {
 			best, bestArrival = id, a
 		}
 	}

@@ -165,87 +165,12 @@ func NewComponents(st *stream.Stream, cfg Config) (*sched.Schedule, *Server, *Cl
 // resulting schedule. The simulation is deterministic given the config (and
 // the policy's seed, for randomized policies). The returned schedule always
 // passes sched.Validate; tests enforce this.
+//
+// Simulate uses a fresh arena per call, so the returned schedule owns its
+// memory. Sweeps that run many simulations and only read each schedule
+// transiently should reuse a Runner instead.
 func Simulate(st *stream.Stream, cfg Config) (*sched.Schedule, error) {
-	out, server, client, err := NewComponents(st, cfg)
-	if err != nil {
-		return nil, err
-	}
-	cfgDelay := out.Params.Delay
-	cfgLinkDelay := out.Params.LinkDelay
-	link := newPipe(cfgLinkDelay)
-
-	resolved := 0
-	// pendingLate tracks slices the client has given up on (their play
-	// time passed) while their bytes are still in the server buffer; they
-	// are resolved when those bytes finally leave the server, so that the
-	// recorded occupancies stay exact.
-	pendingLate := make(map[int]int)
-	for t := 0; t <= st.Horizon() || resolved < st.Len() || !server.Empty() || !link.empty(); t++ {
-		res := server.Step(t, st.ArrivalsAt(t))
-		for _, d := range res.Dropped {
-			// A slice the client had already declared late may now be
-			// physically discarded by the server (proactive late drop);
-			// the server is the drop site — that is where the bytes died.
-			delete(pendingLate, d.ID)
-			if out.Outcomes[d.ID].DropTime == sched.None {
-				out.Outcomes[d.ID].DropTime = t
-				out.Outcomes[d.ID].DropSite = sched.SiteServer
-				resolved++
-			}
-		}
-		for _, b := range res.Sent {
-			o := &out.Outcomes[b.SliceID]
-			if o.SendStart == sched.None {
-				o.SendStart = t
-			}
-		}
-		for _, id := range res.Finished {
-			out.Outcomes[id].SendEnd = t
-			if lateAt, ok := pendingLate[id]; ok {
-				// The slice's bytes have fully left the server; the client
-				// discarded (or will discard) them on arrival. It counts
-				// as lost at the client from its play time on.
-				delete(pendingLate, id)
-				out.Outcomes[id].DropTime = lateAt
-				out.Outcomes[id].DropSite = sched.SiteClient
-				resolved++
-			}
-		}
-		link.push(res.Sent)
-
-		cres := client.Step(t, link.pop())
-		for _, id := range cres.Played {
-			out.Outcomes[id].PlayTime = t
-			resolved++
-		}
-		for _, id := range cres.Dropped {
-			// The client reports every scheduled slice it could not play;
-			// slices the server already dropped were resolved upstream,
-			// and slices still (partly) at the server are resolved when
-			// their bytes leave it.
-			if out.Outcomes[id].DropTime != sched.None {
-				continue
-			}
-			if server.Contains(id) {
-				pendingLate[id] = t
-				continue
-			}
-			out.Outcomes[id].DropTime = t
-			out.Outcomes[id].DropSite = sched.SiteClient
-			resolved++
-		}
-
-		out.SentPerStep = append(out.SentPerStep, res.SentBytes)
-		out.ServerOcc = append(out.ServerOcc, res.Occupancy)
-		out.ClientOcc = append(out.ClientOcc, cres.Occupancy)
-
-		if t > st.Horizon()+cfgLinkDelay+cfgDelay+totalSteps(st, out.Params.Rate)+8 {
-			// Defensive: the loop provably terminates (the server sends R
-			// bytes per non-empty step), so this indicates a bug.
-			return nil, fmt.Errorf("core: simulation failed to terminate by step %d", t)
-		}
-	}
-	return out, nil
+	return NewRunner().run(st, cfg)
 }
 
 // totalSteps bounds how many steps draining the whole stream can take.
@@ -254,19 +179,36 @@ func totalSteps(st *stream.Stream, rate int) int {
 }
 
 // pipe models the lossless FIFO link: batches pushed at step t emerge at
-// step t+P. It is a fixed-size ring over the propagation delay.
+// step t+P. It is a fixed-size ring over the propagation delay. Slot
+// backing arrays are retained across pops and across reset, so a steady
+// simulation pushes and pops without allocating.
 type pipe struct {
 	ring     [][]Batch
 	head     int
 	inFlight int
 }
 
-func newPipe(delay int) *pipe {
-	return &pipe{ring: make([][]Batch, delay+1)}
+// reset prepares the pipe for a run with the given propagation delay,
+// reusing slot capacity from earlier runs.
+//
+//smoothvet:noalloc
+func (p *pipe) reset(delay int) {
+	n := delay + 1
+	if cap(p.ring) < n {
+		p.ring = make([][]Batch, n)
+	}
+	p.ring = p.ring[:n]
+	for i := range p.ring {
+		p.ring[i] = p.ring[i][:0]
+	}
+	p.head = 0
+	p.inFlight = 0
 }
 
 // push inserts the batches sent this step; they will pop after the
 // propagation delay.
+//
+//smoothvet:noalloc
 func (p *pipe) push(batches []Batch) {
 	tail := (p.head + len(p.ring) - 1) % len(p.ring)
 	p.ring[tail] = append(p.ring[tail], batches...)
@@ -275,10 +217,18 @@ func (p *pipe) push(batches []Batch) {
 	}
 }
 
-// pop removes and returns the batches arriving this step.
+// pop removes and returns the batches arriving this step. The returned
+// slice aliases the slot's backing array, which is reused for batches
+// pushed from this step on; with a positive delay those surface pops
+// later, and with delay 0 the caller consumes the batches before the next
+// step's push — either way the contents are stable while the caller needs
+// them.
+//
+//smoothvet:aliased
+//smoothvet:noalloc
 func (p *pipe) pop() []Batch {
 	out := p.ring[p.head]
-	p.ring[p.head] = nil
+	p.ring[p.head] = out[:0]
 	p.head = (p.head + 1) % len(p.ring)
 	for _, b := range out {
 		p.inFlight -= b.Bytes

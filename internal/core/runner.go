@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/drop"
+	"repro/internal/sched"
+	"repro/internal/stream"
+)
+
+// Runner is a reusable simulation arena: it owns a Server, a Client, a link
+// pipe and a sched.Schedule backing store, all recycled between runs. The
+// figure/table sweeps run thousands of short simulations; with a per-worker
+// Runner every run after the first completes without allocating, which is
+// what lets the sweeps scale with cores instead of with the garbage
+// collector.
+//
+// A Runner is not safe for concurrent use; give each goroutine its own
+// (AcquireRunner/ReleaseRunner pool them).
+type Runner struct {
+	server Server
+	client Client
+	link   pipe
+	out    sched.Schedule
+
+	// pendingLate tracks slices the client has given up on (their play
+	// time passed) while their bytes are still in the server buffer; they
+	// are resolved when those bytes finally leave the server, so that the
+	// recorded occupancies stay exact. It is empty whenever B = R·D holds
+	// (Lemma 3.3), so a small map is fine here.
+	pendingLate map[int]int
+
+	// algo caches the "generic/<policy>" algorithm string so repeated runs
+	// with the same policy do not concatenate it again.
+	algoPolicy string
+	algo       string
+}
+
+// NewRunner returns an empty arena. The first Run grows every backing array
+// to the stream's working size; subsequent runs reuse them.
+func NewRunner() *Runner {
+	return &Runner{pendingLate: make(map[int]int)}
+}
+
+var runnerPool = sync.Pool{New: func() any { return NewRunner() }}
+
+// AcquireRunner returns a pooled arena. Pair with ReleaseRunner.
+func AcquireRunner() *Runner { return runnerPool.Get().(*Runner) }
+
+// ReleaseRunner returns an arena to the pool. The schedules the arena
+// produced must no longer be in use: another goroutine may acquire the
+// arena and overwrite them.
+func ReleaseRunner(r *Runner) { runnerPool.Put(r) }
+
+// Run simulates the generic algorithm for the whole stream, exactly like
+// Simulate, but into the arena's recycled state.
+//
+// The returned schedule (including its Outcomes and occupancy traces)
+// aliases memory owned by the Runner and is overwritten by the next Run
+// call; callers that need it afterwards must copy (sched.Schedule values
+// can be deep-copied via their exported fields) or use Simulate.
+//
+//smoothvet:aliased
+func (r *Runner) Run(st *stream.Stream, cfg Config) (*sched.Schedule, error) {
+	return r.run(st, cfg)
+}
+
+// run is the simulation loop proper, shared by Runner.Run (recycled result)
+// and Simulate (fresh arena per call, so the result is genuinely owned).
+func (r *Runner) run(st *stream.Stream, cfg Config) (*sched.Schedule, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	policy := cfg.Policy()
+	// The policy is handed back to its pool at the end of the run; the
+	// server holds it only between Reset calls.
+	defer drop.Recycle(policy)
+
+	if name := policy.Name(); r.algo == "" || r.algoPolicy != name {
+		r.algoPolicy = name
+		r.algo = "generic/" + name
+	}
+
+	out := &r.out
+	out.Stream = st
+	out.Params = sched.Params{
+		ServerBuffer: cfg.ServerBuffer,
+		ClientBuffer: cfg.ClientBuffer,
+		Rate:         cfg.Rate,
+		Delay:        cfg.Delay,
+		LinkDelay:    cfg.LinkDelay,
+	}
+	out.Algorithm = r.algo
+	n := st.Len()
+	if cap(out.Outcomes) < n {
+		out.Outcomes = make([]sched.Outcome, n)
+	}
+	out.Outcomes = out.Outcomes[:n]
+	for i := range out.Outcomes {
+		out.Outcomes[i] = sched.Outcome{
+			SendStart: sched.None, SendEnd: sched.None,
+			DropTime: sched.None, PlayTime: sched.None,
+		}
+	}
+	out.SentPerStep = out.SentPerStep[:0]
+	out.ServerOcc = out.ServerOcc[:0]
+	out.ClientOcc = out.ClientOcc[:0]
+
+	r.server.Reset(cfg.ServerBuffer, cfg.Rate, policy, ServerOptions{
+		DropLate:  cfg.ServerDropsLate,
+		Deadline:  cfg.Delay,
+		LinkDelay: cfg.LinkDelay,
+	})
+	r.client.Reset(cfg.ClientBuffer, cfg.Delay, cfg.LinkDelay, st)
+	r.link.reset(cfg.LinkDelay)
+	clear(r.pendingLate)
+
+	resolved := 0
+	for t := 0; t <= st.Horizon() || resolved < n || !r.server.Empty() || !r.link.empty(); t++ {
+		res := r.server.Step(t, st.ArrivalsAt(t))
+		for _, d := range res.Dropped {
+			// A slice the client had already declared late may now be
+			// physically discarded by the server (proactive late drop);
+			// the server is the drop site — that is where the bytes died.
+			delete(r.pendingLate, d.ID)
+			if out.Outcomes[d.ID].DropTime == sched.None {
+				out.Outcomes[d.ID].DropTime = t
+				out.Outcomes[d.ID].DropSite = sched.SiteServer
+				resolved++
+			}
+		}
+		for _, b := range res.Sent {
+			o := &out.Outcomes[b.SliceID]
+			if o.SendStart == sched.None {
+				o.SendStart = t
+			}
+		}
+		for _, id := range res.Finished {
+			out.Outcomes[id].SendEnd = t
+			if lateAt, ok := r.pendingLate[id]; ok {
+				// The slice's bytes have fully left the server; the client
+				// discarded (or will discard) them on arrival. It counts
+				// as lost at the client from its play time on.
+				delete(r.pendingLate, id)
+				out.Outcomes[id].DropTime = lateAt
+				out.Outcomes[id].DropSite = sched.SiteClient
+				resolved++
+			}
+		}
+		r.link.push(res.Sent)
+
+		cres := r.client.Step(t, r.link.pop())
+		for _, id := range cres.Played {
+			out.Outcomes[id].PlayTime = t
+			resolved++
+		}
+		for _, id := range cres.Dropped {
+			// The client reports every scheduled slice it could not play;
+			// slices the server already dropped were resolved upstream,
+			// and slices still (partly) at the server are resolved when
+			// their bytes leave it.
+			if out.Outcomes[id].DropTime != sched.None {
+				continue
+			}
+			if r.server.Contains(id) {
+				r.pendingLate[id] = t
+				continue
+			}
+			out.Outcomes[id].DropTime = t
+			out.Outcomes[id].DropSite = sched.SiteClient
+			resolved++
+		}
+
+		out.SentPerStep = append(out.SentPerStep, res.SentBytes)
+		out.ServerOcc = append(out.ServerOcc, res.Occupancy)
+		out.ClientOcc = append(out.ClientOcc, cres.Occupancy)
+
+		if t > st.Horizon()+cfg.LinkDelay+cfg.Delay+totalSteps(st, cfg.Rate)+8 {
+			// Defensive: the loop provably terminates (the server sends R
+			// bytes per non-empty step), so this indicates a bug.
+			return nil, fmt.Errorf("core: simulation failed to terminate by step %d", t)
+		}
+	}
+	return out, nil
+}

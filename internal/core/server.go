@@ -31,8 +31,11 @@ type Server struct {
 
 	queue []serverEntry
 	head  int
-	pos   map[int]int // slice ID -> index into queue
-	occ   int         // bytes currently stored
+	// pos maps slice ID -> queue index + 1 (0 = absent). Slice IDs are
+	// dense per stream, so a flat array replaces the map the server
+	// originally used — no hashing, and Reset clears it with one memclr.
+	pos []int32
+	occ int // bytes currently stored
 
 	// Reusable ServerStepResult backing arrays (see Step): the hot loops
 	// in Simulate and the sweep experiments call Step millions of times,
@@ -74,13 +77,29 @@ type ServerStepResult struct {
 // rate (bytes/step) and drop policy. The policy must be fresh (not shared
 // with another server).
 func NewServer(buffer, rate int, policy drop.Policy, opts ServerOptions) *Server {
-	return &Server{
-		buffer: buffer,
-		rate:   rate,
-		policy: policy,
-		opts:   opts,
-		pos:    make(map[int]int),
-	}
+	sv := &Server{}
+	sv.Reset(buffer, rate, policy, opts)
+	return sv
+}
+
+// Reset reinitializes the server for a new run with the given parameters,
+// retaining all grown backing arrays so repeated runs (core.Runner, the
+// sweep experiments) allocate nothing. The policy must be fresh or Reset.
+//
+//smoothvet:noalloc
+func (sv *Server) Reset(buffer, rate int, policy drop.Policy, opts ServerOptions) {
+	sv.buffer = buffer
+	sv.rate = rate
+	sv.policy = policy
+	sv.opts = opts
+	sv.queue = sv.queue[:0]
+	sv.head = 0
+	sv.occ = 0
+	sv.pos = sv.pos[:cap(sv.pos)]
+	clear(sv.pos)
+	sv.sent = sv.sent[:0]
+	sv.finished = sv.finished[:0]
+	sv.dropped = sv.dropped[:0]
 }
 
 // Occupancy returns the bytes currently stored.
@@ -98,11 +117,21 @@ func (sv *Server) SetRate(rate int) {
 	}
 }
 
+// posAt returns the queue index of the slice, or -1 if it is not stored.
+//
+//smoothvet:noalloc
+func (sv *Server) posAt(id int) int {
+	if id < 0 || id >= len(sv.pos) {
+		return -1
+	}
+	return int(sv.pos[id]) - 1
+}
+
 // Contains reports whether the slice still has unsent bytes stored in the
 // server buffer.
 func (sv *Server) Contains(id int) bool {
-	i, ok := sv.pos[id]
-	return ok && !sv.queue[i].dropped && sv.queue[i].remaining > 0
+	i := sv.posAt(id)
+	return i >= 0 && !sv.queue[i].dropped && sv.queue[i].remaining > 0
 }
 
 // Empty reports whether the buffer holds no bytes.
@@ -133,7 +162,10 @@ func (sv *Server) Step(t int, arrivals []stream.Slice) ServerStepResult {
 			sv.dropped = append(sv.dropped, sl)
 			continue
 		}
-		sv.pos[sl.ID] = len(sv.queue)
+		for len(sv.pos) <= sl.ID {
+			sv.pos = append(sv.pos, 0)
+		}
+		sv.pos[sl.ID] = int32(len(sv.queue)) + 1
 		sv.queue = append(sv.queue, serverEntry{s: sl, remaining: sl.Size})
 		sv.occ += sl.Size
 		sv.policy.Add(sl)
@@ -224,8 +256,8 @@ func (sv *Server) dropLate(t int) {
 //
 //smoothvet:noalloc
 func (sv *Server) removeByID(id int) {
-	i, ok := sv.pos[id]
-	if !ok {
+	i := sv.posAt(id)
+	if i < 0 {
 		return
 	}
 	e := &sv.queue[i]
@@ -234,7 +266,7 @@ func (sv *Server) removeByID(id int) {
 	}
 	e.dropped = true
 	sv.occ -= e.remaining
-	delete(sv.pos, id)
+	sv.pos[id] = 0
 }
 
 // advanceHead moves past the head entry and compacts the queue when more
@@ -242,8 +274,8 @@ func (sv *Server) removeByID(id int) {
 //
 //smoothvet:noalloc
 func (sv *Server) advanceHead() {
-	if i, ok := sv.pos[sv.queue[sv.head].s.ID]; ok && i == sv.head {
-		delete(sv.pos, sv.queue[sv.head].s.ID)
+	if id := sv.queue[sv.head].s.ID; sv.posAt(id) == sv.head {
+		sv.pos[id] = 0
 	}
 	sv.head++
 	if sv.head > 64 && sv.head > len(sv.queue)/2 {
@@ -253,7 +285,7 @@ func (sv *Server) advanceHead() {
 		sv.head = 0
 		for i := range sv.queue {
 			if !sv.queue[i].dropped {
-				sv.pos[sv.queue[i].s.ID] = i
+				sv.pos[sv.queue[i].s.ID] = int32(i) + 1
 			}
 		}
 	}

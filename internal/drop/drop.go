@@ -16,18 +16,26 @@
 // have not been dropped. The simulator notifies the policy as slices enter
 // the buffer, start transmission, or finish; when an overflow occurs it
 // repeatedly asks for a victim until the buffer fits.
+//
+// All policies index membership with a dense ID window (see window.go)
+// instead of hash maps, exploiting the monotone slice IDs the simulator
+// guarantees, and their instances are recycled through Recycle so the
+// simulation hot loop runs allocation-free.
 package drop
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/stream"
 )
 
 // Policy selects victims on server-buffer overflow. Implementations keep an
 // internal index of droppable slices; all methods are called from a single
-// goroutine by the simulator.
+// goroutine by the simulator. Add must be called in non-decreasing slice-ID
+// order (the simulator's arrival order), which is what lets the policies use
+// dense windows instead of hash maps.
 type Policy interface {
 	// Name returns a short human-readable policy name.
 	Name() string
@@ -52,26 +60,38 @@ type Policy interface {
 // that concurrent or repeated runs never share mutable policy state.
 type Factory func() Policy
 
-// lazySet tracks membership with O(1) removal for the lazy-deletion
-// structures below.
-type lazySet struct {
-	present map[int]stream.Slice
+// Recycle returns a policy obtained from one of this package's constructors
+// to its free pool, so the next constructor call reuses its grown backing
+// arrays instead of allocating. The caller must not touch the policy after
+// recycling it. Policies of foreign types are ignored.
+//
+// Only the simulation driver that created a policy (and knows its lifetime
+// ended) may recycle it; core.Runner does so at the end of every run.
+func Recycle(p Policy) {
+	switch p := p.(type) {
+	case *tailDrop:
+		tailPool.Put(p)
+	case *headDrop:
+		headPool.Put(p)
+	case *greedy:
+		greedyPool.Put(p)
+	case *random:
+		randomPool.Put(p)
+	case *anticipate:
+		anticipatePool.Put(p)
+	case *randomMix:
+		randomMixPool.Put(p)
+	}
 }
 
-func newLazySet() lazySet { return lazySet{present: make(map[int]stream.Slice)} }
-
-func (l *lazySet) add(s stream.Slice) { l.present[s.ID] = s }
-func (l *lazySet) remove(id int)      { delete(l.present, id) }
-func (l *lazySet) len() int           { return len(l.present) }
-
-// reset clears the map in place rather than reallocating: policies are
-// Reset once per simulation in the sweep hot path, and the runtime reuses
-// the map's buckets, so repeated runs stop churning the allocator.
-func (l *lazySet) reset() { clear(l.present) }
-func (l *lazySet) get(id int) (stream.Slice, bool) {
-	s, ok := l.present[id]
-	return s, ok
-}
+var (
+	tailPool       = sync.Pool{New: func() any { return new(tailDrop) }}
+	headPool       = sync.Pool{New: func() any { return new(headDrop) }}
+	greedyPool     = sync.Pool{New: func() any { return new(greedy) }}
+	randomPool     = sync.Pool{New: func() any { return new(random) }}
+	anticipatePool = sync.Pool{New: func() any { return new(anticipate) }}
+	randomMixPool  = sync.Pool{New: func() any { return new(randomMix) }}
+)
 
 // ---------------------------------------------------------------------------
 // TailDrop
@@ -81,96 +101,96 @@ func (l *lazySet) get(id int) (stream.Slice, bool) {
 // in arrival order, a stack with lazy deletion gives O(1) amortized victims.
 type tailDrop struct {
 	stack []int
-	set   lazySet
+	w     window
 }
 
 // NewTailDrop returns a policy that discards the most recently arrived
 // droppable slice first.
-func NewTailDrop() Policy { return &tailDrop{set: newLazySet()} }
+func NewTailDrop() Policy {
+	p := tailPool.Get().(*tailDrop)
+	p.Reset()
+	return p
+}
 
 // TailDrop is the Factory for NewTailDrop.
 func TailDrop() Policy { return NewTailDrop() }
 
 func (p *tailDrop) Name() string { return "taildrop" }
 
+//smoothvet:noalloc
 func (p *tailDrop) Add(s stream.Slice) {
-	p.set.add(s)
+	p.w.add(s)
 	p.stack = append(p.stack, s.ID)
 }
 
-func (p *tailDrop) Remove(id int) { p.set.remove(id) }
+//smoothvet:noalloc
+func (p *tailDrop) Remove(id int) { p.w.remove(id) }
 
+//smoothvet:noalloc
 func (p *tailDrop) Victim() (stream.Slice, bool) {
 	for len(p.stack) > 0 {
 		id := p.stack[len(p.stack)-1]
 		p.stack = p.stack[:len(p.stack)-1]
-		if s, ok := p.set.get(id); ok {
-			p.set.remove(id)
+		if s, ok := p.w.get(id); ok {
+			p.w.remove(id)
 			return s, true
 		}
 	}
 	return stream.Slice{}, false
 }
 
-func (p *tailDrop) Len() int { return p.set.len() }
+func (p *tailDrop) Len() int { return p.w.len() }
 
+//smoothvet:noalloc
 func (p *tailDrop) Reset() {
 	p.stack = p.stack[:0]
-	p.set.reset()
+	p.w.reset()
 }
 
 // ---------------------------------------------------------------------------
 // HeadDrop
 // ---------------------------------------------------------------------------
 
-// headDrop drops the oldest droppable slice first, using a FIFO queue with
-// lazy deletion.
+// headDrop drops the oldest droppable slice first. The victim order needs
+// no auxiliary queue at all: slices are added in ID order, so the oldest
+// droppable slice is exactly the window's head entry, by construction.
 type headDrop struct {
-	queue []int
-	head  int
-	set   lazySet
+	w window
 }
 
 // NewHeadDrop returns a policy that discards the oldest droppable slice
 // first (drop-from-front).
-func NewHeadDrop() Policy { return &headDrop{set: newLazySet()} }
+func NewHeadDrop() Policy {
+	p := headPool.Get().(*headDrop)
+	p.Reset()
+	return p
+}
 
 // HeadDrop is the Factory for NewHeadDrop.
 func HeadDrop() Policy { return NewHeadDrop() }
 
 func (p *headDrop) Name() string { return "headdrop" }
 
-func (p *headDrop) Add(s stream.Slice) {
-	p.set.add(s)
-	p.queue = append(p.queue, s.ID)
-}
+//smoothvet:noalloc
+func (p *headDrop) Add(s stream.Slice) { p.w.add(s) }
 
-func (p *headDrop) Remove(id int) { p.set.remove(id) }
+//smoothvet:noalloc
+func (p *headDrop) Remove(id int) { p.w.remove(id) }
 
+//smoothvet:noalloc
 func (p *headDrop) Victim() (stream.Slice, bool) {
-	for p.head < len(p.queue) {
-		id := p.queue[p.head]
-		p.head++
-		if p.head > len(p.queue)/2 && p.head > 64 {
-			// Compact to keep memory bounded on long runs.
-			p.queue = append(p.queue[:0], p.queue[p.head:]...)
-			p.head = 0
-		}
-		if s, ok := p.set.get(id); ok {
-			p.set.remove(id)
-			return s, true
-		}
+	s, ok := p.w.first()
+	if !ok {
+		return stream.Slice{}, false
 	}
-	return stream.Slice{}, false
+	p.w.remove(s.ID)
+	return s, true
 }
 
-func (p *headDrop) Len() int { return p.set.len() }
+func (p *headDrop) Len() int { return p.w.len() }
 
-func (p *headDrop) Reset() {
-	p.queue = p.queue[:0]
-	p.head = 0
-	p.set.reset()
-}
+//smoothvet:noalloc
+func (p *headDrop) Reset() { p.w.reset() }
 
 // ---------------------------------------------------------------------------
 // Greedy
@@ -243,31 +263,38 @@ func (h *greedyHeap) pop() greedyItem {
 // greedy drops the slice with the lowest byte value w(s)/|s| first
 // (Section 4.1), via a min-heap with lazy deletion.
 type greedy struct {
-	h   greedyHeap
-	set lazySet
+	h greedyHeap
+	w window
 }
 
 // NewGreedy returns the greedy policy of Section 4.1: on overflow, discard
 // the droppable slice with the lowest byte value.
-func NewGreedy() Policy { return &greedy{set: newLazySet()} }
+func NewGreedy() Policy {
+	p := greedyPool.Get().(*greedy)
+	p.Reset()
+	return p
+}
 
 // Greedy is the Factory for NewGreedy.
 func Greedy() Policy { return NewGreedy() }
 
 func (p *greedy) Name() string { return "greedy" }
 
+//smoothvet:noalloc
 func (p *greedy) Add(s stream.Slice) {
-	p.set.add(s)
+	p.w.add(s)
 	p.h.push(greedyItem{id: s.ID, byteValue: s.ByteValue()})
 }
 
-func (p *greedy) Remove(id int) { p.set.remove(id) }
+//smoothvet:noalloc
+func (p *greedy) Remove(id int) { p.w.remove(id) }
 
+//smoothvet:noalloc
 func (p *greedy) Victim() (stream.Slice, bool) {
 	for len(p.h) > 0 {
 		it := p.h.pop()
-		if s, ok := p.set.get(it.id); ok {
-			p.set.remove(it.id)
+		if s, ok := p.w.get(it.id); ok {
+			p.w.remove(it.id)
 			return s, true
 		}
 	}
@@ -276,9 +303,11 @@ func (p *greedy) Victim() (stream.Slice, bool) {
 
 // peek returns the live minimum-byte-value slice without removing it,
 // discarding stale heap entries along the way.
+//
+//smoothvet:noalloc
 func (p *greedy) peek() (stream.Slice, bool) {
 	for len(p.h) > 0 {
-		if s, ok := p.set.get(p.h[0].id); ok {
+		if s, ok := p.w.get(p.h[0].id); ok {
 			return s, true
 		}
 		p.h.pop()
@@ -286,11 +315,12 @@ func (p *greedy) peek() (stream.Slice, bool) {
 	return stream.Slice{}, false
 }
 
-func (p *greedy) Len() int { return p.set.len() }
+func (p *greedy) Len() int { return p.w.len() }
 
+//smoothvet:noalloc
 func (p *greedy) Reset() {
 	p.h = p.h[:0]
-	p.set.reset()
+	p.w.reset()
 }
 
 // ---------------------------------------------------------------------------
@@ -298,24 +328,22 @@ func (p *greedy) Reset() {
 // ---------------------------------------------------------------------------
 
 // random drops a uniformly random droppable slice, using a swap-delete
-// vector plus an id->position index for O(1) operations.
+// vector plus the window's aux payload as the id->position index.
 type random struct {
 	rng  *rand.Rand
 	seed int64
+	name string
 	ids  []int
-	pos  map[int]int
-	all  map[int]stream.Slice
+	w    window
 }
 
 // NewRandom returns a policy that discards a uniformly random droppable
 // slice, driven by a deterministic source seeded with seed.
 func NewRandom(seed int64) Policy {
-	return &random{
-		rng:  rand.New(rand.NewSource(seed)),
-		seed: seed,
-		pos:  make(map[int]int),
-		all:  make(map[int]stream.Slice),
-	}
+	p := randomPool.Get().(*random)
+	p.setSeed(seed)
+	p.Reset()
+	return p
 }
 
 // Random returns a Factory producing NewRandom(seed) policies.
@@ -323,45 +351,62 @@ func Random(seed int64) Factory {
 	return func() Policy { return NewRandom(seed) }
 }
 
-func (p *random) Name() string { return fmt.Sprintf("random(seed=%d)", p.seed) }
-
-func (p *random) Add(s stream.Slice) {
-	if _, ok := p.pos[s.ID]; ok {
-		return
+// setSeed (re)parameterizes a pooled instance, rebuilding the cached name
+// only when the seed actually changed.
+func (p *random) setSeed(seed int64) {
+	if p.name == "" || p.seed != seed {
+		p.name = fmt.Sprintf("random(seed=%d)", seed)
 	}
-	p.pos[s.ID] = len(p.ids)
-	p.ids = append(p.ids, s.ID)
-	p.all[s.ID] = s
+	p.seed = seed
 }
 
+func (p *random) Name() string { return p.name }
+
+//smoothvet:noalloc
+func (p *random) Add(s stream.Slice) {
+	if _, ok := p.w.get(s.ID); ok {
+		return
+	}
+	p.w.add(s)
+	p.w.setAux(s.ID, int32(len(p.ids)))
+	p.ids = append(p.ids, s.ID)
+}
+
+//smoothvet:noalloc
 func (p *random) Remove(id int) {
-	i, ok := p.pos[id]
+	aux, ok := p.w.auxOf(id)
 	if !ok {
 		return
 	}
-	last := len(p.ids) - 1
+	i, last := int(aux), len(p.ids)-1
 	p.ids[i] = p.ids[last]
-	p.pos[p.ids[i]] = i
+	p.w.setAux(p.ids[i], aux)
 	p.ids = p.ids[:last]
-	delete(p.pos, id)
-	delete(p.all, id)
+	p.w.remove(id)
 }
 
+//smoothvet:noalloc
 func (p *random) Victim() (stream.Slice, bool) {
 	if len(p.ids) == 0 {
 		return stream.Slice{}, false
 	}
 	id := p.ids[p.rng.Intn(len(p.ids))]
-	s := p.all[id]
+	s, _ := p.w.get(id)
 	p.Remove(id)
 	return s, true
 }
 
 func (p *random) Len() int { return len(p.ids) }
 
+//smoothvet:noalloc
 func (p *random) Reset() {
-	p.rng = rand.New(rand.NewSource(p.seed))
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.seed))
+	} else {
+		// Reseeding restores exactly the state of a fresh source without
+		// reallocating it (rand.NewSource seeds the same way).
+		p.rng.Seed(p.seed)
+	}
 	p.ids = p.ids[:0]
-	clear(p.pos)
-	clear(p.all)
+	p.w.reset()
 }

@@ -50,11 +50,15 @@ func NewAnticipate(threshold, valueFloor float64) Policy {
 	if threshold > 1 {
 		threshold = 1
 	}
-	return &anticipate{
-		greedy:     NewGreedy().(*greedy),
-		threshold:  threshold,
-		valueFloor: valueFloor,
+	p := anticipatePool.Get().(*anticipate)
+	if p.greedy == nil {
+		p.greedy = NewGreedy().(*greedy)
+	} else {
+		p.greedy.Reset()
 	}
+	p.threshold = threshold
+	p.valueFloor = valueFloor
+	return p
 }
 
 // Anticipate returns a Factory for NewAnticipate.
@@ -90,13 +94,24 @@ func NewRandomMix(seed int64, p float64) Policy {
 	if p > 1 {
 		p = 1
 	}
-	r := NewRandom(seed).(*random)
-	return &randomMix{
-		g:    NewGreedy().(*greedy),
-		r:    r,
-		rng:  &randSource{f: r.rng.Float64},
-		prob: p,
+	m := randomMixPool.Get().(*randomMix)
+	if m.g == nil {
+		m.g = NewGreedy().(*greedy)
+	} else {
+		m.g.Reset()
 	}
+	if m.r == nil {
+		m.r = NewRandom(seed).(*random)
+	} else {
+		m.r.setSeed(seed)
+		m.r.Reset()
+	}
+	if m.rng == nil {
+		m.rng = &randSource{}
+	}
+	m.rng.f = m.r.rng.Float64
+	m.prob = p
+	return m
 }
 
 // RandomMix returns a Factory for NewRandomMix.

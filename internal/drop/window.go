@@ -1,0 +1,167 @@
+package drop
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// window is the dense membership index shared by the drop policies: a
+// ring-buffer-like view over a contiguous range of slice IDs backed by one
+// flat array, replacing the hash maps the policies used originally.
+//
+// It exploits the structure the simulator guarantees (stream.Slice IDs are
+// assigned densely in arrival order, and the server registers slices in
+// exactly that order): Add is only ever called with an ID at least as large
+// as every ID added before, so membership is a monotone window [base+head,
+// base+len(entries)) and entry lookup is plain subtraction — no hashing, no
+// per-Add map growth, O(1) everything.
+//
+// The window self-compacts: removals advance head past dead entries, and
+// once the dead prefix dominates, the live suffix is copied down and base
+// advances. Memory is therefore proportional to the ID span of the live
+// droppable set (roughly the server buffer), not to the whole stream, and
+// the backing array is retained across Reset for allocation-free reuse.
+type window struct {
+	base    int // slice ID of entries[0]
+	head    int // index of the first live (present) entry; == len(entries) when empty
+	n       int // number of present entries
+	entries []windowEntry
+}
+
+// windowEntry is one slot of the window. aux carries per-policy payload
+// (the random policy stores the slice's position in its shuffle vector);
+// policies that do not need it leave it zero.
+type windowEntry struct {
+	s       stream.Slice
+	aux     int32
+	present bool
+}
+
+// add registers a slice. IDs must be monotone: s.ID must be >= base+head
+// (the simulator adds slices in ID order, so this always holds; violating
+// it indicates a driver bug and panics rather than corrupting the index).
+//
+//smoothvet:noalloc
+func (w *window) add(s stream.Slice) {
+	if w.n == 0 {
+		// Empty window: rebase at the new ID so long-dead prefixes from
+		// earlier in the run cost neither memory nor scan time.
+		w.base = s.ID
+		w.head = 0
+		w.entries = w.entries[:0]
+	}
+	idx := s.ID - w.base
+	switch {
+	case idx < w.head:
+		panicNonMonotone(s.ID, w.base+w.head)
+	case idx < len(w.entries):
+		// Re-add inside the window (idempotent, mirroring the map's put).
+		e := &w.entries[idx]
+		if !e.present {
+			w.n++
+		}
+		e.s = s
+		e.present = true
+		return
+	}
+	// Gap IDs (slices that never became droppable) get dead placeholders.
+	for len(w.entries) < idx {
+		w.entries = append(w.entries, windowEntry{})
+	}
+	w.entries = append(w.entries, windowEntry{s: s, present: true})
+	w.n++
+}
+
+// remove unregisters an ID; unknown or already-removed IDs are no-ops.
+//
+//smoothvet:noalloc
+func (w *window) remove(id int) {
+	idx := id - w.base
+	if idx < w.head || idx >= len(w.entries) || !w.entries[idx].present {
+		return
+	}
+	w.entries[idx].present = false
+	w.n--
+	w.advance()
+}
+
+// advance moves head past dead entries and compacts the backing array when
+// the dead prefix dominates, keeping memory bounded on long runs.
+//
+//smoothvet:noalloc
+func (w *window) advance() {
+	for w.head < len(w.entries) && !w.entries[w.head].present {
+		w.head++
+	}
+	if w.head > 64 && w.head > len(w.entries)/2 {
+		live := w.entries[w.head:]
+		copy(w.entries, live)
+		w.entries = w.entries[:len(live)]
+		w.base += w.head
+		w.head = 0
+	}
+}
+
+// get returns the slice registered under id.
+//
+//smoothvet:noalloc
+func (w *window) get(id int) (stream.Slice, bool) {
+	idx := id - w.base
+	if idx < w.head || idx >= len(w.entries) || !w.entries[idx].present {
+		return stream.Slice{}, false
+	}
+	return w.entries[idx].s, true
+}
+
+// first returns the present slice with the smallest ID. After advance, that
+// is exactly the head entry — the oldest droppable slice, by construction.
+//
+//smoothvet:noalloc
+func (w *window) first() (stream.Slice, bool) {
+	if w.n == 0 {
+		return stream.Slice{}, false
+	}
+	return w.entries[w.head].s, true
+}
+
+// aux returns the auxiliary payload stored for id.
+//
+//smoothvet:noalloc
+func (w *window) auxOf(id int) (int32, bool) {
+	idx := id - w.base
+	if idx < w.head || idx >= len(w.entries) || !w.entries[idx].present {
+		return 0, false
+	}
+	return w.entries[idx].aux, true
+}
+
+// setAux stores the auxiliary payload for a present id.
+//
+//smoothvet:noalloc
+func (w *window) setAux(id int, v int32) {
+	idx := id - w.base
+	if idx < w.head || idx >= len(w.entries) || !w.entries[idx].present {
+		return
+	}
+	w.entries[idx].aux = v
+}
+
+// len returns the number of present entries.
+func (w *window) len() int { return w.n }
+
+// reset empties the window, retaining the backing array for reuse.
+//
+//smoothvet:noalloc
+func (w *window) reset() {
+	w.base = 0
+	w.head = 0
+	w.n = 0
+	w.entries = w.entries[:0]
+}
+
+// panicNonMonotone is split out of add so the formatted message's boxing
+// stays off the annotated hot path.
+func panicNonMonotone(id, start int) {
+	panic(fmt.Sprintf("drop: non-monotone slice ID %d added below window start %d", id, start))
+}

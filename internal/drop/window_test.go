@@ -1,0 +1,211 @@
+package drop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// windowModel is the map-based reference the dense window replaces: plain
+// hash-map membership with recomputed-by-scan queries.
+type windowModel struct {
+	present map[int]stream.Slice
+	aux     map[int]int32
+}
+
+func newWindowModel() *windowModel {
+	return &windowModel{present: make(map[int]stream.Slice), aux: make(map[int]int32)}
+}
+
+func (m *windowModel) add(s stream.Slice) {
+	m.present[s.ID] = s
+	if _, ok := m.aux[s.ID]; !ok {
+		m.aux[s.ID] = 0
+	}
+}
+
+func (m *windowModel) remove(id int) {
+	delete(m.present, id)
+	delete(m.aux, id)
+}
+
+func (m *windowModel) first() (stream.Slice, bool) {
+	best, ok := stream.Slice{}, false
+	for id, s := range m.present {
+		if !ok || id < best.ID {
+			best, ok = s, true
+		}
+	}
+	return best, ok
+}
+
+// checkAgainstModel asserts every observable of the window matches the
+// model over the full live ID range.
+func checkAgainstModel(t *testing.T, w *window, m *windowModel, lo, hi int) {
+	t.Helper()
+	if w.len() != len(m.present) {
+		t.Fatalf("len: window %d, model %d", w.len(), len(m.present))
+	}
+	wf, wok := w.first()
+	mf, mok := m.first()
+	if wok != mok || (wok && wf != mf) {
+		t.Fatalf("first: window (%+v,%v), model (%+v,%v)", wf, wok, mf, mok)
+	}
+	for id := lo; id <= hi; id++ {
+		ws, wok := w.get(id)
+		ms, mok := m.present[id]
+		if wok != mok || (wok && ws != ms) {
+			t.Fatalf("get(%d): window (%+v,%v), model (%+v,%v)", id, ws, wok, ms, mok)
+		}
+		wa, wok := w.auxOf(id)
+		ma, mok2 := m.aux[id]
+		if wok != mok2 || (wok && wa != ma) {
+			t.Fatalf("aux(%d): window (%d,%v), model (%d,%v)", id, wa, wok, ma, mok2)
+		}
+	}
+}
+
+// driveWindow replays an operation stream (monotone adds, arbitrary
+// removals/aux writes) against both implementations and cross-checks after
+// every step. ops bytes select the operation; the walk is deterministic.
+func driveWindow(t *testing.T, ops []byte) {
+	t.Helper()
+	w := &window{}
+	m := newWindowModel()
+	nextID := 0
+	live := []int{} // ids added and not yet removed (may contain stale ids)
+	lo := 0
+	for i, op := range ops {
+		switch op % 5 {
+		case 0, 1: // add the next ID, sometimes skipping a gap
+			if op%7 == 0 {
+				nextID += int(op%3) + 1 // gap: IDs the policy never sees
+			}
+			s := stream.Slice{ID: nextID, Arrival: i, Size: int(op%9) + 1, Weight: float64(op%13) + 1}
+			w.add(s)
+			m.add(s)
+			live = append(live, nextID)
+			nextID++
+		case 2: // remove a known id (possibly already removed: no-op)
+			if len(live) > 0 {
+				id := live[int(op)%len(live)]
+				w.remove(id)
+				m.remove(id)
+			}
+		case 3: // re-add the most recent id (idempotent refresh)
+			if len(live) > 0 {
+				id := live[len(live)-1]
+				if s, ok := m.present[id]; ok {
+					w.add(s)
+					m.add(s)
+				}
+			}
+		case 4: // set aux on a known id
+			if len(live) > 0 {
+				id := live[int(op)%len(live)]
+				v := int32(op)
+				w.setAux(id, v)
+				if _, ok := m.present[id]; ok {
+					m.aux[id] = v
+				}
+			}
+		}
+		checkAgainstModel(t, w, m, lo, nextID+1)
+	}
+	// Reset must empty the window and keep it consistent for a fresh run.
+	w.reset()
+	if w.len() != 0 {
+		t.Fatalf("after reset: len %d", w.len())
+	}
+	if _, ok := w.first(); ok {
+		t.Fatal("after reset: first returned an entry")
+	}
+}
+
+// TestWindowAgainstModel drives long random interleavings from fixed seeds.
+func TestWindowAgainstModel(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([]byte, 400)
+		for i := range ops {
+			ops[i] = byte(rng.Intn(256))
+		}
+		driveWindow(t, ops)
+	}
+}
+
+// FuzzWindow lets the fuzzer search for operation interleavings where the
+// dense window diverges from the map model. Run with `go test -fuzz
+// FuzzWindow ./internal/drop` for an open-ended search; in normal test runs
+// the seed corpus below is replayed.
+func FuzzWindow(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 0, 3, 4, 2, 2, 0, 1, 14, 7, 21})
+	f.Add([]byte{7, 14, 21, 28, 35, 2, 2, 2, 2, 0, 0, 0})
+	f.Add([]byte{0, 1, 0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 255, 128, 64})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			ops = ops[:2048]
+		}
+		driveWindow(t, ops)
+	})
+}
+
+// TestWindowMonotonePanic locks in the contract violation diagnostic: adding
+// an ID below the window start must panic rather than corrupt the index.
+func TestWindowMonotonePanic(t *testing.T) {
+	w := &window{}
+	w.add(stream.Slice{ID: 5, Size: 1})
+	w.add(stream.Slice{ID: 6, Size: 1})
+	w.remove(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-monotone add")
+		}
+	}()
+	w.add(stream.Slice{ID: 4, Size: 1})
+}
+
+// TestWindowCompaction forces the dead-prefix compaction path and checks
+// the live suffix survives with correct IDs.
+func TestWindowCompaction(t *testing.T) {
+	w := &window{}
+	const n = 300
+	for id := 0; id < n; id++ {
+		w.add(stream.Slice{ID: id, Size: 1, Weight: float64(id)})
+	}
+	for id := 0; id < n-10; id++ {
+		w.remove(id)
+	}
+	if w.len() != 10 {
+		t.Fatalf("len = %d, want 10", w.len())
+	}
+	for id := n - 10; id < n; id++ {
+		s, ok := w.get(id)
+		if !ok || s.ID != id || s.Weight != float64(id) {
+			t.Fatalf("get(%d) = (%+v, %v) after compaction", id, s, ok)
+		}
+	}
+	if s, ok := w.first(); !ok || s.ID != n-10 {
+		t.Fatalf("first = (%+v, %v), want ID %d", s, ok, n-10)
+	}
+	// The backing array must have shrunk to near the live span.
+	if len(w.entries) > 64+10 {
+		t.Fatalf("entries not compacted: len %d", len(w.entries))
+	}
+}
+
+// TestWindowRebase checks that an add into an empty window rebases instead
+// of growing the array across the dead gap.
+func TestWindowRebase(t *testing.T) {
+	w := &window{}
+	w.add(stream.Slice{ID: 0, Size: 1})
+	w.remove(0)
+	w.add(stream.Slice{ID: 1 << 20, Size: 1})
+	if len(w.entries) != 1 {
+		t.Fatalf("entries len %d after rebase, want 1", len(w.entries))
+	}
+	if s, ok := w.first(); !ok || s.ID != 1<<20 {
+		t.Fatalf("first = (%+v, %v)", s, ok)
+	}
+}

@@ -178,11 +178,13 @@ func TableDecode(c Config) (*Table, error) {
 	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		row := map[string]float64{}
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
 		for _, p := range []struct {
 			name string
 			f    drop.Factory
 		}{{"taildrop", drop.TailDrop}, {"greedy", drop.Greedy}} {
-			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: p.f})
+			s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R, Policy: p.f})
 			if err != nil {
 				return nil, err
 			}
@@ -258,12 +260,14 @@ func TableProactive(c Config) (*Table, error) {
 			factory = drop.Anticipate(th, 1.5) // shed byte values < 1.5 early
 		}
 		row := map[string]float64{}
-		sc, err := core.Simulate(crafted, core.Config{ServerBuffer: B, Rate: R, Policy: factory})
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
+		sc, err := r.Run(crafted, core.Config{ServerBuffer: B, Rate: R, Policy: factory})
 		if err != nil {
 			return nil, err
 		}
 		row["crafted"] = 100 * sc.Benefit() / crafted.TotalWeight()
-		sm, err := core.Simulate(mpeg, core.Config{ServerBuffer: mpegB, Rate: mpegR, Policy: factory})
+		sm, err := r.Run(mpeg, core.Config{ServerBuffer: mpegB, Rate: mpegR, Policy: factory})
 		if err != nil {
 			return nil, err
 		}

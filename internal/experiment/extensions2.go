@@ -45,11 +45,13 @@ func TableGlitch(c Config) (*Table, error) {
 	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
 		row := map[string]float64{}
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
 		for _, pol := range []struct {
 			name string
 			f    drop.Factory
 		}{{"taildrop", drop.TailDrop}, {"greedy", drop.Greedy}} {
-			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: pol.f})
+			s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R, Policy: pol.f})
 			if err != nil {
 				return nil, err
 			}

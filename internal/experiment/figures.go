@@ -137,8 +137,10 @@ func runPolicies(st *stream.Stream, B, R int, policies map[string]drop.Factory) 
 	}
 	sort.Strings(names)
 	out := make(map[string]float64, len(policies))
+	r := core.AcquireRunner()
+	defer core.ReleaseRunner(r)
 	for _, name := range names {
-		s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: policies[name]})
+		s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R, Policy: policies[name]})
 		if err != nil {
 			return nil, fmt.Errorf("policy %s: %w", name, err)
 		}

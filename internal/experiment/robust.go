@@ -36,6 +36,8 @@ func TableRobust(c Config) (*Table, error) {
 		},
 	}
 	rows, err := Sweep(c.Workers, trace.Profiles(), func(pi int, prof trace.Profile) (Row, error) {
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
 		gMin, gMax := math.Inf(1), math.Inf(-1)
 		tdMin, tdMax := math.Inf(1), math.Inf(-1)
 		var idcSum float64
@@ -57,7 +59,7 @@ func TableRobust(c Config) (*Table, error) {
 				name string
 				f    drop.Factory
 			}{{"greedy", drop.Greedy}, {"taildrop", drop.TailDrop}} {
-				s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R, Policy: p.f})
+				s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R, Policy: p.f})
 				if err != nil {
 					return Row{}, err
 				}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/drop"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -50,22 +51,33 @@ func TableSmartWeights(c Config) (*Table, error) {
 	}
 	err = t.sweepRows(c, multiples, func(m float64) (map[string]float64, error) {
 		B := bufferUnits(int(m * float64(cl.MaxFrameSize())))
-		sPaper, err := core.Simulate(paper, core.Config{ServerBuffer: B, Rate: R, Policy: drop.Greedy})
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
+		// One arena for all three runs: each schedule's decodable fraction
+		// is extracted before the next run overwrites it.
+		decodable := func(st *stream.Stream, f drop.Factory) (float64, error) {
+			s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R, Policy: f})
+			if err != nil {
+				return 0, err
+			}
+			return 100 * trace.Decodability(cl, func(i int) bool { return s.Outcomes[i].Played() }).DecodableFraction(), nil
+		}
+		fPaper, err := decodable(paper, drop.Greedy)
 		if err != nil {
 			return nil, err
 		}
-		sSmart, err := core.Simulate(smart, core.Config{ServerBuffer: B, Rate: R, Policy: drop.Greedy})
+		fSmart, err := decodable(smart, drop.Greedy)
 		if err != nil {
 			return nil, err
 		}
-		sTail, err := core.Simulate(paper, core.Config{ServerBuffer: B, Rate: R, Policy: drop.TailDrop})
+		fTail, err := decodable(paper, drop.TailDrop)
 		if err != nil {
 			return nil, err
 		}
 		return map[string]float64{
-			"paper-12-8-1":       100 * trace.Decodability(cl, func(i int) bool { return sPaper.Outcomes[i].Played() }).DecodableFraction(),
-			"dependency-derived": 100 * trace.Decodability(cl, func(i int) bool { return sSmart.Outcomes[i].Played() }).DecodableFraction(),
-			"taildrop-reference": 100 * trace.Decodability(cl, func(i int) bool { return sTail.Outcomes[i].Played() }).DecodableFraction(),
+			"paper-12-8-1":       fPaper,
+			"dependency-derived": fSmart,
+			"taildrop-reference": fTail,
 		}, nil
 	})
 	if err != nil {

@@ -70,21 +70,15 @@ func TableBRD(c Config) (*Table, error) {
 		if B < 1 {
 			B = 1
 		}
-		s, err := core.Simulate(st, core.Config{
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
+		// One arena for both runs: the first schedule's statistics are
+		// extracted before the second run overwrites it.
+		s, err := r.Run(st, core.Config{
 			ServerBuffer: B,
 			ClientBuffer: law,
 			Rate:         R,
 			Delay:        D,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sLate, err := core.Simulate(st, core.Config{
-			ServerBuffer:    B,
-			ClientBuffer:    law,
-			Rate:            R,
-			Delay:           D,
-			ServerDropsLate: true,
 		})
 		if err != nil {
 			return nil, err
@@ -102,8 +96,19 @@ func TableBRD(c Config) (*Table, error) {
 				client += sz
 			}
 		}
+		byteloss := 100 * float64(st.TotalBytes()-s.Throughput()) / total
+		sLate, err := r.Run(st, core.Config{
+			ServerBuffer:    B,
+			ClientBuffer:    law,
+			Rate:            R,
+			Delay:           D,
+			ServerDropsLate: true,
+		})
+		if err != nil {
+			return nil, err
+		}
 		return map[string]float64{
-			"byteloss":          100 * float64(st.TotalBytes()-s.Throughput()) / total,
+			"byteloss":          byteloss,
 			"serverdrop":        100 * float64(server) / total,
 			"clientdrop":        100 * float64(client) / total,
 			"byteloss-droplate": 100 * float64(st.TotalBytes()-sLate.Throughput()) / total,
@@ -143,21 +148,23 @@ func TableBufferRatio(c Config) (*Table, error) {
 	for i := range streams {
 		streams[i] = randomUnitStream(rng, 150+rng.Intn(150), 40, 1)
 	}
-	throughput := func(st *stream.Stream, B int) (float64, error) {
-		s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R})
+	throughput := func(r *core.Runner, st *stream.Stream, B int) (float64, error) {
+		s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R})
 		if err != nil {
 			return 0, err
 		}
 		return float64(s.Throughput()), nil
 	}
 	err = t.sweepRowsInt(c, []int{10, 20, 30, 40, 50, 60}, func(B1 int) (map[string]float64, error) {
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
 		worst := math.Inf(1)
 		for _, st := range streams {
-			t1, err := throughput(st, B1)
+			t1, err := throughput(r, st, B1)
 			if err != nil {
 				return nil, err
 			}
-			t2, err := throughput(st, B2)
+			t2, err := throughput(r, st, B2)
 			if err != nil {
 				return nil, err
 			}
@@ -165,11 +172,11 @@ func TableBufferRatio(c Config) (*Table, error) {
 				worst = t1 / t2
 			}
 		}
-		bt1, err := throughput(batch, B1)
+		bt1, err := throughput(r, batch, B1)
 		if err != nil {
 			return nil, err
 		}
-		bt2, err := throughput(batch, B2)
+		bt2, err := throughput(r, batch, B2)
 		if err != nil {
 			return nil, err
 		}
@@ -221,9 +228,11 @@ func TableVarSlices(c Config) (*Table, error) {
 		if B < R {
 			B = R
 		}
+		r := core.AcquireRunner()
+		defer core.ReleaseRunner(r)
 		worst := math.Inf(1)
 		for _, st := range trialStreams[li] {
-			s, err := core.Simulate(st, core.Config{ServerBuffer: B, Rate: R})
+			s, err := r.Run(st, core.Config{ServerBuffer: B, Rate: R})
 			if err != nil {
 				return Row{}, err
 			}
@@ -369,19 +378,25 @@ func TableOnlineLowerBound(c Config) (*Table, error) {
 	}
 	err := t.sweepRows(c, []float64{2, 4.015}, func(alpha float64) (map[string]float64, error) {
 		row := map[string]float64{"predicted-lb": competitive.PredictedOnlineLB(alpha)}
+		// Build the scenario streams and their offline optima once per
+		// alpha; all four games below replay the same fixed inputs.
+		scenarios, err := competitive.GameScenarios(B, alpha, 3*B)
+		if err != nil {
+			return nil, err
+		}
 		for _, p := range []struct {
 			name string
 			f    drop.Factory
 		}{{"greedy", drop.Greedy}, {"taildrop", drop.TailDrop}, {"headdrop", drop.HeadDrop}} {
-			res, err := competitive.OnlineLowerBoundGame(p.f, B, alpha, 3*B)
+			res, err := competitive.OnlineLowerBoundGameOn(scenarios, B, p.f)
 			if err != nil {
 				return nil, err
 			}
 			row[p.name] = res.Ratio
 		}
-		rr, err := competitive.OnlineLowerBoundGameRandomized(func(trial int) drop.Factory {
+		rr, err := competitive.OnlineLowerBoundGameRandomizedOn(scenarios, B, func(trial int) drop.Factory {
 			return drop.RandomMix(c.Seed+int64(trial)*7919, 0.5)
-		}, B, alpha, 3*B, trials)
+		}, trials)
 		if err != nil {
 			return nil, err
 		}

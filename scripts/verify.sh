@@ -32,9 +32,26 @@ go test ./...
 echo "== go test -race"
 go test -race ./...
 
-echo "== bench smoke"
-# One iteration of every benchmark so they cannot bit-rot; timings are
-# meaningless at -benchtime 1x and intentionally discarded.
-go test -run NONE -bench . -benchtime 1x ./... > /dev/null
+echo "== bench + regression gate"
+# Run every benchmark at the same short protocol the committed baseline was
+# recorded with (-benchtime 5x; BenchmarkSweepWorkers additionally at
+# -cpu 1,4), then gate on BENCH_quick.json via cmd/benchdiff. Allocation
+# metrics are deterministic at a fixed iteration count and held tight —
+# the simulation core must stay allocation-free (see DESIGN.md "Memory
+# layout & amortization"); wall-clock ratios stay generous because CI
+# machines are noisy. Refresh the baseline with scripts/bench_baseline.sh
+# after an intentional performance change.
+go build -o bin/benchjson ./cmd/benchjson
+go build -o bin/benchdiff ./cmd/benchdiff
+./scripts/bench_baseline.sh bin/bench_current.json
+# Global thresholds are generous (sync.Pool hit rates vary with GC timing,
+# so pooled-arena benchmarks have some alloc jitter); the allocation-free
+# core paths get tight per-benchmark rules, and the parallel sweep variants
+# — whose pool misses depend on goroutine scheduling — get looser ones.
+bin/benchdiff -baseline BENCH_quick.json -current bin/bench_current.json \
+    -ns 1.5 -bytes 1.0 -bytes-slack 16384 -allocs 1.0 -allocs-slack 64 \
+    -rule 'BenchmarkServerStep:allocs=0.0+4,bytes=0.0+4096' \
+    -rule 'BenchmarkSimulate/*:allocs=0.0+4,bytes=0.0+4096' \
+    -rule 'BenchmarkSweepWorkers/*/par:allocs=4.0+256,bytes=4.0+65536'
 
 echo "verify: OK"
