@@ -7,13 +7,22 @@
 // the first message (the paper's clock-synchronization-free playout anchor)
 // and records how far behind the ideal pacing schedule — anchor +
 // SendStep·step — each message arrives, rebased per session so the fastest
-// message defines lag 0. p50/p99 of that distribution tell whether the
-// server's shard clocks kept up with the offered load.
+// message defines lag 0. p50/p99/p99.9 of that distribution tell whether
+// the server's shard clocks kept up with the offered load. Failures are
+// broken down by stage: dial (connection refused), handshake (Hello/Accept
+// exchange), and mid-stream (anything after Accept).
+//
+// In ramp mode (-ramp) smoothload runs waves of increasing size until the
+// p99 step lag exceeds the SLO (-slo) or sessions start failing, and
+// reports the largest wave the server sustained — the "max sessions at a
+// p99 lag SLO" capacity number for the engine's density work.
 //
 // Usage:
 //
 //	smoothload [-connect localhost:4321] [-sessions 256] [-delay 16]
 //	           [-buffer BYTES] [-v]
+//	smoothload -ramp [-ramp-start 64] [-ramp-grow 2.0] [-slo 50ms]
+//	           [-sessions MAX]
 package main
 
 import (
@@ -29,38 +38,99 @@ import (
 	"repro/internal/stats"
 )
 
+// Failure stages, in the order they can occur in a session's life.
+const (
+	stageDial      = "dial"
+	stageHandshake = "handshake"
+	stageMidStream = "mid-stream"
+)
+
 type result struct {
 	stats   netstream.PlayStats
 	lags    []float64 // per-message lag behind the pacing schedule, µs
 	bytes   int64     // payload bytes received (including late/incomplete)
 	elapsed time.Duration
 	err     error
+	stage   string // failure stage when err != nil
 }
 
 func main() {
 	var (
-		addr     = flag.String("connect", "localhost:4321", "server address")
-		sessions = flag.Int("sessions", 256, "concurrent client sessions")
-		delay    = flag.Int("delay", 16, "desired smoothing delay in steps")
-		buffer   = flag.Int("buffer", 0, "client buffer in bytes to advertise (0 = unlimited)")
-		verbose  = flag.Bool("v", false, "log per-session completions")
+		addr      = flag.String("connect", "localhost:4321", "server address")
+		sessions  = flag.Int("sessions", 256, "concurrent client sessions (the wave cap in ramp mode)")
+		delay     = flag.Int("delay", 16, "desired smoothing delay in steps")
+		buffer    = flag.Int("buffer", 0, "client buffer in bytes to advertise (0 = unlimited)")
+		verbose   = flag.Bool("v", false, "log per-session completions")
+		ramp      = flag.Bool("ramp", false, "ramp wave sizes until the p99 step-lag SLO breaks; report max sustainable sessions")
+		rampStart = flag.Int("ramp-start", 64, "first wave size in ramp mode")
+		rampGrow  = flag.Float64("ramp-grow", 2.0, "wave growth factor in ramp mode")
+		slo       = flag.Duration("slo", 50*time.Millisecond, "p99 step-lag SLO for ramp mode")
 	)
 	flag.Parse()
 	if *sessions < 1 {
 		log.Fatal("smoothload: -sessions must be >= 1")
 	}
+	if *ramp {
+		runRamp(*addr, *buffer, *delay, *sessions, *rampStart, *rampGrow, *slo, *verbose)
+		return
+	}
+	results, wall := runWave(*addr, *sessions, *buffer, *delay, *verbose)
+	sum := report(results, wall)
+	if sum.failed > 0 {
+		os.Exit(1)
+	}
+}
 
-	results := make([]result, *sessions)
+// runRamp drives waves of growing size until the SLO breaks, a session
+// fails, or the wave cap is reached, then prints the last sustained level.
+func runRamp(addr string, buffer, delay, cap, start int, grow float64, slo time.Duration, verbose bool) {
+	if start < 1 {
+		start = 1
+	}
+	if grow <= 1 {
+		grow = 2
+	}
+	best := 0
+	n := start
+	for {
+		if n > cap {
+			n = cap
+		}
+		fmt.Printf("--- wave: %d sessions\n", n)
+		results, wall := runWave(addr, n, buffer, delay, verbose)
+		sum := report(results, wall)
+		p99 := time.Duration(sum.p99 * float64(time.Microsecond))
+		if sum.failed > 0 || p99 > slo {
+			fmt.Printf("ramp:       %d sessions BROKE the SLO (p99 %v > %v, %d failed)\n",
+				n, p99.Round(10*time.Microsecond), slo, sum.failed)
+			break
+		}
+		best = n
+		if n == cap {
+			break
+		}
+		n = int(float64(n) * grow)
+	}
+	if best == 0 {
+		fmt.Printf("max sustainable sessions: none at p99 <= %v (start lower than %d?)\n", slo, start)
+		os.Exit(1)
+	}
+	fmt.Printf("max sustainable sessions: %d at p99 step lag <= %v\n", best, slo)
+}
+
+// runWave opens n concurrent sessions and waits for all of them.
+func runWave(addr string, n, buffer, delay int, verbose bool) ([]result, time.Duration) {
+	results := make([]result, n)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < *sessions; i++ {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runSession(*addr, *buffer, *delay)
-			if *verbose {
+			results[i] = runSession(addr, buffer, delay)
+			if verbose {
 				if err := results[i].err; err != nil {
-					log.Printf("smoothload: session %d: %v", i, err)
+					log.Printf("smoothload: session %d (%s): %v", i, results[i].stage, err)
 				} else {
 					log.Printf("smoothload: session %d done in %v", i, results[i].elapsed.Round(time.Millisecond))
 				}
@@ -68,19 +138,21 @@ func main() {
 		}(i)
 	}
 	wg.Wait()
-	wall := time.Since(start)
-	report(results, wall)
+	return results, time.Since(start)
 }
 
 // runSession performs one full handshake-receive-play session, measuring
 // the lag of every data message against the pacing schedule.
 func runSession(addr string, buffer, delay int) result {
 	var res result
+	fail := func(stage string, err error) result {
+		res.stage, res.err = stage, err
+		return res
+	}
 	begin := time.Now()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		res.err = err
-		return res
+		return fail(stageDial, err)
 	}
 	defer conn.Close()
 
@@ -88,25 +160,21 @@ func runSession(addr string, buffer, delay int) result {
 		ClientBuffer: uint32(buffer),
 		DesiredDelay: uint32(delay),
 	}); err != nil {
-		res.err = err
-		return res
+		return fail(stageHandshake, err)
 	}
 	dec := netstream.NewDecoder(conn)
 	msg, err := dec.Next()
 	if err != nil {
-		res.err = fmt.Errorf("reading accept: %w", err)
-		return res
+		return fail(stageHandshake, fmt.Errorf("reading accept: %w", err))
 	}
 	if msg.Accept == nil {
-		res.err = fmt.Errorf("expected accept, got %+v", msg)
-		return res
+		return fail(stageHandshake, fmt.Errorf("expected accept, got %+v", msg))
 	}
 	acc := *msg.Accept
 	stepDur := time.Duration(acc.StepMicros) * time.Microsecond
 	rcv, err := netstream.NewReceiver(int(acc.Delay))
 	if err != nil {
-		res.err = err
-		return res
+		return fail(stageHandshake, err)
 	}
 	res.stats.Delay = int(acc.Delay)
 
@@ -129,15 +197,13 @@ func runSession(addr string, buffer, delay int) result {
 	for {
 		msg, err := dec.Next()
 		if err != nil {
-			res.err = fmt.Errorf("mid-stream: %w", err)
-			return res
+			return fail(stageMidStream, err)
 		}
 		if msg.End {
 			break
 		}
 		if msg.Data == nil {
-			res.err = fmt.Errorf("unexpected message %+v", msg)
-			return res
+			return fail(stageMidStream, fmt.Errorf("unexpected message %+v", msg))
 		}
 		d := msg.Data
 		now := time.Now()
@@ -153,8 +219,7 @@ func runSession(addr string, buffer, delay int) result {
 		}
 		flush(int(d.SendStep) - 1)
 		if err := rcv.Ingest(d); err != nil {
-			res.err = err
-			return res
+			return fail(stageMidStream, err)
 		}
 	}
 	flush(maxFrame + int(acc.Delay))
@@ -178,8 +243,15 @@ func runSession(addr string, buffer, delay int) result {
 	return res
 }
 
-func report(results []result, wall time.Duration) {
+// summary carries the aggregates a ramp wave decides on.
+type summary struct {
+	failed int
+	p99    float64 // µs; 0 when no messages were measured
+}
+
+func report(results []result, wall time.Duration) summary {
 	completed, failed := 0, 0
+	byStage := map[string]int{}
 	var bytes int64
 	var lags []float64
 	incomplete, late := 0, 0
@@ -187,6 +259,7 @@ func report(results []result, wall time.Duration) {
 	for _, r := range results {
 		if r.err != nil {
 			failed++
+			byStage[r.stage]++
 			continue
 		}
 		completed++
@@ -200,22 +273,23 @@ func report(results []result, wall time.Duration) {
 		}
 	}
 	secs := wall.Seconds()
-	fmt.Printf("sessions:   %d completed, %d failed in %v (%.1f sessions/s)\n",
-		completed, failed, wall.Round(time.Millisecond), float64(completed)/secs)
+	fmt.Printf("sessions:   %d completed, %d failed (%d dial, %d handshake, %d mid-stream) in %v (%.1f sessions/s)\n",
+		completed, failed, byStage[stageDial], byStage[stageHandshake], byStage[stageMidStream],
+		wall.Round(time.Millisecond), float64(completed)/secs)
 	fmt.Printf("throughput: %d payload bytes (%.1f KB/s aggregate)\n",
 		bytes, float64(bytes)/1024/secs)
+	sum := summary{failed: failed}
 	if len(lags) > 0 {
-		q := stats.Quantiles(lags, 0.50, 0.99)
-		fmt.Printf("step lag:   p50 %s, p99 %s  (%d messages)\n",
-			fmtMicros(q[0]), fmtMicros(q[1]), len(lags))
+		q := stats.Quantiles(lags, 0.50, 0.99, 0.999)
+		sum.p99 = q[1]
+		fmt.Printf("step lag:   p50 %s, p99 %s, p99.9 %s  (%d messages)\n",
+			fmtMicros(q[0]), fmtMicros(q[1]), fmtMicros(q[2]), len(lags))
 	}
 	if completed > 0 {
 		fmt.Printf("loss:       %d slices played, %d incomplete (mean %.2f/session, max %d), %d late bytes\n",
 			played, incomplete, float64(incomplete)/float64(completed), maxIncomplete, late)
 	}
-	if failed > 0 {
-		os.Exit(1)
-	}
+	return sum
 }
 
 func fmtMicros(us float64) string {

@@ -12,6 +12,15 @@
 // goroutine advances a session's private clock, so the byte stream a client
 // sees is identical for any shard count (engine_test.go locks this down,
 // mirroring the sweep engine's worker-count invariance).
+//
+// The same purity powers the engine's compute-once-serve-many layer
+// (cohort.go): sessions that negotiate identical (delay, buffer) share one
+// precomputed schedule and one pre-encoded byte stream, their hot state
+// collapses to a cohort pointer and a step cursor held in shard-owned
+// parallel arrays, and a shard tick over them is a contiguous walk that
+// writes shared immutable buffers. Sessions with bespoke parameters (cache
+// disabled or at capacity) keep the per-session Sender path, which is
+// byte-identical by construction and by golden test.
 package serve
 
 import (
@@ -50,6 +59,14 @@ type Config struct {
 	// WriteTimeout bounds each batched wire flush so one dead client
 	// cannot stall its shard forever. Defaults to 30s; negative disables.
 	WriteTimeout time.Duration
+	// DisableCohorts turns off the cohort schedule cache, serving every
+	// session through its own Sender. The wire bytes are identical either
+	// way; the cache only changes the cost of producing them.
+	DisableCohorts bool
+	// MaxCohorts caps distinct (delay, buffer) plans cached per engine
+	// (0 = a sensible default); sessions past the cap use the fallback
+	// per-session path.
+	MaxCohorts int
 	// OnSessionDone, if non-nil, is called from the shard goroutine after
 	// a session ends (err is nil for a clean drain to End).
 	OnSessionDone func(s SessionStats, err error)
@@ -72,8 +89,14 @@ type Engine struct {
 	cfg      Config
 	st       *stream.Stream
 	payloads [][]byte // per-slice synthesized payload, shared by all sessions
-	shards   []*shard
-	seed     maphash.Seed
+	// stepOffers[t] is the ready-made offer slice for model step t —
+	// arrivals paired with their shared payloads — built once and read by
+	// every fallback session and cohort build instead of being rebuilt
+	// per session per tick.
+	stepOffers [][]netstream.Offered
+	shards     []*shard
+	seed       maphash.Seed
+	cohorts    cohortCache
 
 	active  atomic.Int64
 	served  atomic.Int64
@@ -119,17 +142,39 @@ func newEngine(clip *trace.Clip, weights trace.WeightMap, cfg Config) (*Engine, 
 		return nil, err
 	}
 	e := &Engine{cfg: cfg, st: st, seed: maphash.MakeSeed()}
+	e.cohorts.m = make(map[cohortKey]*cohortEntry)
 	// Payload bytes depend only on (slice ID, size): synthesize them once
 	// and share across every session instead of per session per step.
 	e.payloads = make([][]byte, st.Len())
 	for id := 0; id < st.Len(); id++ {
 		e.payloads[id] = netstream.SynthPayload(id, st.Slice(id).Size)
 	}
+	// Likewise the per-step offers: the arrival schedule is engine-wide,
+	// so pair each step's slices with their payloads exactly once.
+	e.stepOffers = make([][]netstream.Offered, st.Horizon()+1)
+	for t := 0; t <= st.Horizon(); t++ {
+		arr := st.ArrivalsAt(t)
+		offers := make([]netstream.Offered, len(arr))
+		for i, sl := range arr {
+			offers[i] = netstream.Offered{Slice: sl, Payload: e.payloads[sl.ID]}
+		}
+		e.stepOffers[t] = offers
+	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &shard{eng: e, quit: make(chan struct{})}
 	}
 	return e, nil
+}
+
+// offersAt returns the shared offer slice for one model step. The result
+// aliases engine-owned memory shared read-only by every session; callers
+// must not mutate it or its payloads.
+//
+//smoothvet:aliased
+//smoothvet:noalloc
+func (e *Engine) offersAt(step int) []netstream.Offered {
+	return e.stepOffers[step]
 }
 
 // Rate returns the configured link rate in payload bytes per step.
@@ -147,8 +192,10 @@ func (e *Engine) ServedSessions() int { return int(e.served.Load()) }
 // Handle performs the netstream handshake on the caller's goroutine (the
 // Hello read blocks), registers the session on a shard chosen by connection
 // hash, and returns; the shard clock drives the session to completion and
-// closes the connection. On rejection (engine draining, session limit, bad
-// handshake) the connection is closed and an error returned.
+// closes the connection. Sessions whose negotiated parameters hit the
+// cohort cache are registered in the shard's struct-of-arrays cohort rows;
+// the rest get a private Sender. On rejection (engine draining, session
+// limit, bad handshake) the connection is closed and an error returned.
 func (e *Engine) Handle(conn net.Conn) error {
 	if e.closing.Load() {
 		_ = conn.Close()
@@ -177,9 +224,26 @@ func (e *Engine) Handle(conn net.Conn) error {
 		_ = conn.Close()
 		return fmt.Errorf("serve: writing accept: %w", err)
 	}
+	remote := conn.RemoteAddr().String()
+	sh := e.shards[e.shardOf(remote)]
 	w := io.Writer(conn)
 	if e.cfg.WriteTimeout > 0 {
-		w = deadlineWriter{c: conn, d: e.cfg.WriteTimeout}
+		// The deadline writer arms against the shard's tick clock, so the
+		// shard must be fixed before the writer is built.
+		w = &deadlineWriter{c: conn, d: e.cfg.WriteTimeout, clk: &sh.clk}
+	}
+	if c := e.cohortFor(delay, buffer); c != nil {
+		e.active.Add(1)
+		e.sessWG.Add(1)
+		if !sh.enqueue(admission{row: cohortRow{
+			cohort: c, conn: conn, w: w, remote: remote, start: time.Now(),
+		}}) {
+			e.active.Add(-1)
+			e.sessWG.Done()
+			_ = conn.Close()
+			return fmt.Errorf("serve: engine is draining")
+		}
+		return nil
 	}
 	s, err := e.newSession(w, delay, buffer)
 	if err != nil {
@@ -187,9 +251,8 @@ func (e *Engine) Handle(conn net.Conn) error {
 		return err
 	}
 	s.conn = conn
-	s.remote = conn.RemoteAddr().String()
-	sh := e.shards[e.shardOf(s.remote)]
-	if !sh.enqueue(s) {
+	s.remote = remote
+	if !sh.enqueue(admission{s: s}) {
 		e.unregister(s)
 		_ = conn.Close()
 		return fmt.Errorf("serve: engine is draining")
@@ -205,8 +268,9 @@ func (e *Engine) shardOf(remote string) int {
 	return int(h.Sum64() % uint64(len(e.shards)))
 }
 
-// newSession builds a registered session writing to w. The caller (or the
-// shard loop, once enqueued) is responsible for eventually calling finish.
+// newSession builds a registered fallback session writing to w. The caller
+// (or the shard loop, once enqueued) is responsible for eventually calling
+// finish.
 func (e *Engine) newSession(w io.Writer, delay, buffer int) (*session, error) {
 	snd, err := netstream.NewSender(w, netstream.SenderConfig{
 		ServerBuffer: buffer,
@@ -264,29 +328,68 @@ var errAborted = fmt.Errorf("serve: engine closed mid-stream")
 // Shards.
 // ---------------------------------------------------------------------------
 
+// tickClock publishes a shard's current tick timestamp (UnixNano) to the
+// deadline writers of its sessions, so arming a write deadline costs an
+// atomic load instead of a time.Now call per session per flush.
+type tickClock struct {
+	nanos atomic.Int64
+}
+
+// admission hands one freshly handshaken session to a shard loop: either a
+// fallback *session or a cohort row (exactly one is set).
+type admission struct {
+	s   *session
+	row cohortRow
+}
+
+// cohortRow is the registration-time state of one cohort-served session.
+// Its hot fields (cohort pointer, cursor) move into the shard's parallel
+// arrays on admit; the rest stays in the cold array, touched only at
+// retirement.
+type cohortRow struct {
+	cohort *Cohort
+	conn   net.Conn // nil in tests/benchmarks that drive a bare writer
+	w      io.Writer
+	remote string
+	start  time.Time
+}
+
+// cohortRows is the shard-owned struct-of-arrays state of cohort-served
+// sessions. A shard tick walks cursors/cohorts contiguously — no
+// per-session pointer chase — and retires finished rows by swap-remove.
+// The three slices are parallel: row i is (cohorts[i], cursors[i],
+// cold[i]).
+type cohortRows struct {
+	cohorts []*Cohort
+	cursors []int32
+	cold    []cohortRow
+}
+
 // shard owns a set of sessions and the single clock that steps them. Only
 // the registration queue is shared (guarded by mu); everything else runs on
 // the shard goroutine.
 type shard struct {
 	eng  *Engine
 	quit chan struct{}
+	clk  tickClock
 
 	mu       sync.Mutex
 	draining bool
-	incoming []*session
+	incoming []admission
 
-	sessions []*session
+	sessions []*session // fallback (bespoke-parameter) sessions
+	rows     cohortRows // cohort-served sessions, struct-of-arrays
 }
 
 // enqueue hands a freshly handshaken session to the shard loop. It reports
 // false if the shard has already shut down.
-func (sh *shard) enqueue(s *session) bool {
+func (sh *shard) enqueue(a admission) bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.draining {
 		return false
 	}
-	sh.incoming = append(sh.incoming, s)
+	sh.incoming = append(sh.incoming, a)
 	return true
 }
 
@@ -300,8 +403,8 @@ func (sh *shard) run() {
 		case <-sh.quit:
 			sh.shutdown()
 			return
-		case <-tk.C:
-			sh.step()
+		case now := <-tk.C:
+			sh.step(now)
 		}
 	}
 }
@@ -312,16 +415,28 @@ func (sh *shard) admit() {
 	inc := sh.incoming
 	sh.incoming = nil
 	sh.mu.Unlock()
-	sh.sessions = append(sh.sessions, inc...)
+	for i := range inc {
+		if s := inc[i].s; s != nil {
+			sh.sessions = append(sh.sessions, s)
+			continue
+		}
+		sh.rows.cohorts = append(sh.rows.cohorts, inc[i].row.cohort)
+		sh.rows.cursors = append(sh.rows.cursors, 0)
+		sh.rows.cold = append(sh.rows.cold, inc[i].row)
+	}
 }
 
 // step advances every session on the shard by one model step, retiring the
-// ones that finished or failed.
+// ones that finished or failed. now is the tick timestamp; it is published
+// once to the shard's deadline writers, so a tick arms at most one write
+// deadline per connection no matter how many flushes it performs.
 //
 //smoothvet:deterministic
 //smoothvet:noalloc
-func (sh *shard) step() {
+func (sh *shard) step(now time.Time) {
+	sh.clk.nanos.Store(now.UnixNano())
 	sh.admit()
+	sh.stepRows()
 	live := sh.sessions[:0]
 	for _, s := range sh.sessions {
 		done, err := s.stepOnce()
@@ -337,6 +452,78 @@ func (sh *shard) step() {
 	sh.sessions = live
 }
 
+// stepRows advances the cohort rows one model step: a contiguous walk over
+// the parallel arrays, flushing each phase group — the run of sessions on
+// the same cohort at the same cursor — from one shared pre-encoded buffer.
+// Retirement is swap-remove: the last unprocessed row takes the freed slot
+// and is processed in place, so every row advances exactly once per tick.
+//
+//smoothvet:deterministic
+//smoothvet:noalloc
+func (sh *shard) stepRows() {
+	rows := &sh.rows
+	i := 0
+	for i < len(rows.cursors) {
+		c := rows.cohorts[i]
+		cur := rows.cursors[i]
+		buf := c.stepBytes(cur)
+		last := int(cur)+1 == c.Steps()
+		// One shared buffer serves the whole phase group [i, j).
+		j := i
+		for j < len(rows.cursors) && rows.cohorts[j] == c && rows.cursors[j] == cur {
+			var err error
+			if len(buf) > 0 {
+				_, err = rows.cold[j].w.Write(buf)
+			}
+			if err != nil || last {
+				sh.retireRow(j, cur, err)
+				continue // the swapped-in row is processed at j
+			}
+			rows.cursors[j] = cur + 1
+			j++
+		}
+		i = j
+	}
+}
+
+// retireRow finishes the cohort session in slot j (err nil = clean drain
+// to End) and swap-removes its row.
+func (sh *shard) retireRow(j int, cur int32, err error) {
+	rows := &sh.rows
+	cold := &rows.cold[j]
+	steps := int(cur)
+	dropped := rows.cohorts[j].droppedThrough(cur)
+	if err == nil {
+		// Clean finish: the final step completed.
+		steps = int(cur) + 1
+		dropped = rows.cohorts[j].droppedThrough(cur + 1)
+	}
+	if cold.conn != nil {
+		_ = cold.conn.Close()
+	}
+	e := sh.eng
+	e.active.Add(-1)
+	e.served.Add(1)
+	e.sessWG.Done()
+	if e.cfg.OnSessionDone != nil {
+		e.cfg.OnSessionDone(SessionStats{
+			Remote:  cold.remote,
+			Steps:   steps,
+			Dropped: dropped,
+			Elapsed: time.Since(cold.start),
+		}, err)
+	}
+	n := len(rows.cursors) - 1
+	rows.cohorts[j] = rows.cohorts[n]
+	rows.cursors[j] = rows.cursors[n]
+	rows.cold[j] = rows.cold[n]
+	rows.cohorts[n] = nil
+	rows.cold[n] = cohortRow{}
+	rows.cohorts = rows.cohorts[:n]
+	rows.cursors = rows.cursors[:n]
+	rows.cold = rows.cold[:n]
+}
+
 // shutdown aborts every session still registered on the shard.
 func (sh *shard) shutdown() {
 	sh.mu.Lock()
@@ -344,19 +531,31 @@ func (sh *shard) shutdown() {
 	inc := sh.incoming
 	sh.incoming = nil
 	sh.mu.Unlock()
-	sh.sessions = append(sh.sessions, inc...)
+	for i := range inc {
+		if s := inc[i].s; s != nil {
+			sh.sessions = append(sh.sessions, s)
+			continue
+		}
+		sh.rows.cohorts = append(sh.rows.cohorts, inc[i].row.cohort)
+		sh.rows.cursors = append(sh.rows.cursors, 0)
+		sh.rows.cold = append(sh.rows.cold, inc[i].row)
+	}
 	for _, s := range sh.sessions {
 		s.finish(errAborted)
 	}
 	sh.sessions = nil
+	for len(sh.rows.cursors) > 0 {
+		sh.retireRow(len(sh.rows.cursors)-1, sh.rows.cursors[len(sh.rows.cursors)-1], errAborted)
+	}
 }
 
 // ---------------------------------------------------------------------------
-// Sessions.
+// Sessions (fallback path: one Sender per session).
 // ---------------------------------------------------------------------------
 
-// session is one client's paced stream. All fields are owned by the shard
-// goroutine after registration; no locking.
+// session is one client's paced stream served through a private smoothing
+// buffer. All fields are owned by the shard goroutine after registration;
+// no locking.
 type session struct {
 	eng     *Engine
 	conn    net.Conn // nil in tests/benchmarks that drive a bare writer
@@ -366,24 +565,22 @@ type session struct {
 	start   time.Time
 	step    int
 	dropped int
-	offers  []netstream.Offered // reused per step
 }
 
-// stepOnce runs one model step: offer this step's arrivals, tick the
-// smoothing buffer (which batches and flushes the wire writes), and finish
-// with the End marker once the horizon is past and the buffer is drained.
+// stepOnce runs one model step: offer this step's arrivals (the shared,
+// engine-precomputed offer slice — read-only), tick the smoothing buffer
+// (which batches and flushes the wire writes), and finish with the End
+// marker once the horizon is past and the buffer is drained.
 //
 //smoothvet:deterministic
 //smoothvet:noalloc
 func (s *session) stepOnce() (done bool, err error) {
 	e := s.eng
-	s.offers = s.offers[:0]
+	var offers []netstream.Offered
 	if s.step <= e.st.Horizon() {
-		for _, sl := range e.st.ArrivalsAt(s.step) {
-			s.offers = append(s.offers, netstream.Offered{Slice: sl, Payload: e.payloads[sl.ID]})
-		}
+		offers = e.offersAt(s.step)
 	}
-	stats, err := s.snd.Tick(s.offers)
+	stats, err := s.snd.Tick(offers)
 	if err != nil {
 		return false, err
 	}
@@ -414,16 +611,24 @@ func (s *session) finish(err error) {
 	}
 }
 
-// deadlineWriter arms a write deadline before every flush so a stalled
-// client errors out instead of blocking its whole shard.
+// deadlineWriter arms a write deadline before flushing so a stalled client
+// errors out instead of blocking its whole shard. The deadline is derived
+// from the shard's tick clock — stamped once per tick — and armed at most
+// once per tick per connection, so a session flush costs neither a
+// time.Now call nor a redundant SetWriteDeadline.
 type deadlineWriter struct {
-	c net.Conn
-	d time.Duration
+	c     net.Conn
+	d     time.Duration
+	clk   *tickClock
+	armed int64 // tick stamp the current deadline was armed at
 }
 
-func (w deadlineWriter) Write(p []byte) (int, error) {
-	if err := w.c.SetWriteDeadline(time.Now().Add(w.d)); err != nil {
-		return 0, err
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	if now := w.clk.nanos.Load(); now != w.armed {
+		if err := w.c.SetWriteDeadline(time.Unix(0, now).Add(w.d)); err != nil {
+			return 0, err
+		}
+		w.armed = now
 	}
 	return w.c.Write(p)
 }

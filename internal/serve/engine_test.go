@@ -43,14 +43,17 @@ func runClient(conn net.Conn, delay int) (clientResult, error) {
 }
 
 // runEngine serves `clients` concurrent sessions from an engine with the
-// given shard count and returns each client's result.
-func runEngine(t *testing.T, clip *trace.Clip, shards, clients int) []clientResult {
+// given shard count and returns each client's result. disableCohorts
+// selects the per-session Sender path; the default engine serves same-
+// parameter sessions from the cohort cache.
+func runEngine(t *testing.T, clip *trace.Clip, shards, clients int, disableCohorts bool) []clientResult {
 	t.Helper()
 	eng, err := New(clip, trace.PaperWeights(), Config{
-		Rate:         2 * int(clip.AverageRate()),
-		Shards:       shards,
-		StepDuration: 200 * time.Microsecond,
-		MaxDelay:     8,
+		Rate:           2 * int(clip.AverageRate()),
+		Shards:         shards,
+		StepDuration:   200 * time.Microsecond,
+		MaxDelay:       8,
+		DisableCohorts: disableCohorts,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -93,12 +96,15 @@ func runEngine(t *testing.T, clip *trace.Clip, shards, clients int) []clientResu
 
 // TestShardCountInvariance — the determinism analogue of the sweep engine's
 // worker-count invariance: the same clip and policy must yield the same
-// per-session played/dropped sets whether the engine runs 1 shard or many.
+// per-session played/dropped sets whether the engine runs 1 shard or many,
+// and whether sessions are cohort-served or run the per-session Sender
+// path.
 func TestShardCountInvariance(t *testing.T) {
 	clip := testClip(t, 30)
 	const clients = 6
-	one := runEngine(t, clip, 1, clients)
-	four := runEngine(t, clip, 4, clients)
+	one := runEngine(t, clip, 1, clients, false)
+	four := runEngine(t, clip, 4, clients, false)
+	fallback := runEngine(t, clip, 4, clients, true)
 
 	for i := 0; i < clients; i++ {
 		a, b := one[i], four[i]
@@ -114,6 +120,9 @@ func TestShardCountInvariance(t *testing.T) {
 		if a.stats.Incomplete != b.stats.Incomplete || a.stats.LateBytes != b.stats.LateBytes ||
 			a.stats.Corrupt != b.stats.Corrupt || a.stats.PlayedBytes != b.stats.PlayedBytes {
 			t.Fatalf("client %d: stats diverge across shard counts: %+v vs %+v", i, a.stats, b.stats)
+		}
+		if f := fallback[i]; f.stats != b.stats || len(f.played) != len(b.played) {
+			t.Fatalf("client %d: cohort and fallback paths diverge: %+v vs %+v", i, b.stats, f.stats)
 		}
 	}
 	// And every session of one engine run saw the same stream.

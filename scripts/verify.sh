@@ -48,10 +48,14 @@ go build -o bin/benchdiff ./cmd/benchdiff
 # so pooled-arena benchmarks have some alloc jitter); the allocation-free
 # core paths get tight per-benchmark rules, and the parallel sweep variants
 # — whose pool misses depend on goroutine scheduling — get looser ones.
+# The cohort-served density benchmark is pinned at exactly zero steady-state
+# allocations: the whole point of the compute-once layer is that a shard
+# tick over 100k sessions touches no allocator at all.
 bin/benchdiff -baseline BENCH_quick.json -current bin/bench_current.json \
     -ns 1.5 -bytes 1.0 -bytes-slack 16384 -allocs 1.0 -allocs-slack 64 \
     -rule 'BenchmarkServerStep:allocs=0.0+4,bytes=0.0+4096' \
     -rule 'BenchmarkSimulate/*:allocs=0.0+4,bytes=0.0+4096' \
-    -rule 'BenchmarkSweepWorkers/*/par:allocs=4.0+256,bytes=4.0+65536'
+    -rule 'BenchmarkSweepWorkers/*/par:allocs=4.0+256,bytes=4.0+65536' \
+    -rule 'BenchmarkEngineStepDensity/cohort/*:allocs=0.0+0,bytes=0.0+0'
 
 echo "verify: OK"
