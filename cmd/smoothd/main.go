@@ -18,6 +18,11 @@
 //	        [-rate-factor F] [-step 40ms] [-policy greedy] [-once]
 //	        [-shards N] [-max-sessions N] [-drain 10s]
 //	        [-cohort-cache=false] [-max-cohorts N]
+//	        [-pprof localhost:6060]
+//
+// With -pprof the server exposes net/http/pprof on the given address;
+// SIGUSR1 logs a one-line runtime snapshot (goroutines, heap, GC) at any
+// time, with or without -pprof.
 //
 // Pair it with cmd/smoothplay (interactive) or cmd/smoothload (load).
 package main
@@ -35,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/drop"
 	"repro/internal/netstream"
 	"repro/internal/serve"
@@ -57,8 +63,16 @@ func main() {
 		drainWait   = flag.Duration("drain", 10*time.Second, "in-flight session drain budget on shutdown")
 		cohortCache = flag.Bool("cohort-cache", true, "serve same-parameter sessions from shared precomputed schedules")
 		maxCohorts  = flag.Int("max-cohorts", 0, "distinct (delay, buffer) plans to precompute (0 = default cap)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := diag.Serve(*pprofAddr); err != nil {
+			log.Fatalf("smoothd: %v", err)
+		}
+	}
+	diag.SnapshotOnSIGUSR1()
 
 	if *streams < 1 {
 		log.Fatalf("smoothd: -streams must be >= 1")

@@ -1,26 +1,33 @@
-// Command smoothload is the serving benchmark: it opens K concurrent client
-// sessions against a smoothd instance, drives every stream to completion
-// with the paper's timer-free client, and reports aggregate throughput,
-// step-lag percentiles and per-session loss.
+// Command smoothload is the serving benchmark: it drives K concurrent
+// client sessions against a smoothd instance through the sharded reactor
+// engine of internal/loadgen and reports aggregate throughput, step-lag
+// percentiles and per-session loss. A session costs one fd and a few
+// hundred bytes — no goroutine, no timer — so one smoothload process can
+// hold ~20k concurrent sessions (the fd ceiling) and push hundreds of
+// thousands through in waves.
 //
-// Step lag is measured per data message: the client anchors a wall clock at
-// the first message (the paper's clock-synchronization-free playout anchor)
+// Step lag is measured per data message: a session anchors a clock at its
+// first message (the paper's clock-synchronization-free playout anchor)
 // and records how far behind the ideal pacing schedule — anchor +
-// SendStep·step — each message arrives, rebased per session so the fastest
-// message defines lag 0. p50/p99/p99.9 of that distribution tell whether
-// the server's shard clocks kept up with the offered load. Failures are
-// broken down by stage: dial (connection refused), handshake (Hello/Accept
-// exchange), and mid-stream (anything after Accept).
+// SendStep·step — each message arrives, rebased per session so the
+// fastest of its leading messages defines lag 0. Timestamps are taken
+// once per reactor wake on a monotonic clock, so the numbers measure the
+// server, not smoothload's own scheduler. p50/p99/p99.9 come from
+// fixed-footprint log-bucketed histograms accurate to ~3% relative
+// error. Failures are broken down by stage: dial (connection refused),
+// handshake (Hello/Accept exchange), and mid-stream (anything after
+// Accept).
 //
-// In ramp mode (-ramp) smoothload runs waves of increasing size until the
-// p99 step lag exceeds the SLO (-slo) or sessions start failing, and
+// In ramp mode (-ramp) smoothload runs waves of increasing size until
+// the p99 step lag exceeds the SLO (-slo) or sessions start failing, and
 // reports the largest wave the server sustained — the "max sessions at a
 // p99 lag SLO" capacity number for the engine's density work.
 //
 // Usage:
 //
-//	smoothload [-connect localhost:4321] [-sessions 256] [-delay 16]
-//	           [-buffer BYTES] [-v]
+//	smoothload [-connect localhost:4321[,addr2,...]] [-sessions 256]
+//	           [-delay 16] [-buffer BYTES] [-shards N] [-dialers N]
+//	           [-pprof localhost:6060] [-v]
 //	smoothload -ramp [-ramp-start 64] [-ramp-grow 2.0] [-slo 50ms]
 //	           [-sessions MAX]
 package main
@@ -29,37 +36,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
-	"sync"
+	"strings"
 	"time"
 
-	"repro/internal/netstream"
-	"repro/internal/stats"
+	"repro/internal/diag"
+	"repro/internal/loadgen"
 )
-
-// Failure stages, in the order they can occur in a session's life.
-const (
-	stageDial      = "dial"
-	stageHandshake = "handshake"
-	stageMidStream = "mid-stream"
-)
-
-type result struct {
-	stats   netstream.PlayStats
-	lags    []float64 // per-message lag behind the pacing schedule, µs
-	bytes   int64     // payload bytes received (including late/incomplete)
-	elapsed time.Duration
-	err     error
-	stage   string // failure stage when err != nil
-}
 
 func main() {
 	var (
-		addr      = flag.String("connect", "localhost:4321", "server address")
+		addrs     = flag.String("connect", "localhost:4321", "server address(es), comma-separated; sessions stripe across them")
 		sessions  = flag.Int("sessions", 256, "concurrent client sessions (the wave cap in ramp mode)")
 		delay     = flag.Int("delay", 16, "desired smoothing delay in steps")
 		buffer    = flag.Int("buffer", 0, "client buffer in bytes to advertise (0 = unlimited)")
+		shards    = flag.Int("shards", 0, "reactor shards (0 = GOMAXPROCS)")
+		dialers   = flag.Int("dialers", 0, "concurrent dial workers (0 = default)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
 		verbose   = flag.Bool("v", false, "log per-session completions")
 		ramp      = flag.Bool("ramp", false, "ramp wave sizes until the p99 step-lag SLO breaks; report max sustainable sessions")
 		rampStart = flag.Int("ramp-start", 64, "first wave size in ramp mode")
@@ -70,20 +63,65 @@ func main() {
 	if *sessions < 1 {
 		log.Fatal("smoothload: -sessions must be >= 1")
 	}
+	if *pprofAddr != "" {
+		if err := diag.Serve(*pprofAddr); err != nil {
+			log.Fatalf("smoothload: %v", err)
+		}
+	}
+	diag.SnapshotOnSIGUSR1()
+
+	cfg := loadgen.Config{
+		Addrs:   splitAddrs(*addrs),
+		Shards:  *shards,
+		Buffer:  *buffer,
+		Delay:   *delay,
+		Dialers: *dialers,
+	}
+	if *verbose {
+		cfg.OnSessionDone = func(st loadgen.SessionStats) {
+			if st.Err != nil {
+				log.Printf("smoothload: session %d (%s): %v", st.Index, st.Stage, st.Err)
+			} else {
+				log.Printf("smoothload: session %d done in %v", st.Index, st.Elapsed.Round(time.Millisecond))
+			}
+		}
+	}
+	eng, err := loadgen.New(cfg)
+	if err != nil {
+		log.Fatalf("smoothload: %v", err)
+	}
+	defer eng.Close()
+
 	if *ramp {
-		runRamp(*addr, *buffer, *delay, *sessions, *rampStart, *rampGrow, *slo, *verbose)
+		runRamp(eng, *sessions, *rampStart, *rampGrow, *slo)
 		return
 	}
-	results, wall := runWave(*addr, *sessions, *buffer, *delay, *verbose)
-	sum := report(results, wall)
-	if sum.failed > 0 {
+	rep, err := eng.Run(*sessions)
+	if err != nil {
+		log.Fatalf("smoothload: %v", err)
+	}
+	report(rep)
+	if rep.Failed > 0 {
 		os.Exit(1)
 	}
 }
 
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // runRamp drives waves of growing size until the SLO breaks, a session
-// fails, or the wave cap is reached, then prints the last sustained level.
-func runRamp(addr string, buffer, delay, cap, start int, grow float64, slo time.Duration, verbose bool) {
+// fails, or the wave cap is reached, then prints the last sustained
+// level. The engine (shards, histograms, decoder scratch) is reused
+// across waves.
+func runRamp(eng *loadgen.Engine, cap, start int, grow float64, slo time.Duration) {
 	if start < 1 {
 		start = 1
 	}
@@ -97,12 +135,15 @@ func runRamp(addr string, buffer, delay, cap, start int, grow float64, slo time.
 			n = cap
 		}
 		fmt.Printf("--- wave: %d sessions\n", n)
-		results, wall := runWave(addr, n, buffer, delay, verbose)
-		sum := report(results, wall)
-		p99 := time.Duration(sum.p99 * float64(time.Microsecond))
-		if sum.failed > 0 || p99 > slo {
+		rep, err := eng.Run(n)
+		if err != nil {
+			log.Fatalf("smoothload: %v", err)
+		}
+		report(rep)
+		p99 := time.Duration(rep.Lag.Quantile(0.99)) * time.Microsecond
+		if rep.Failed > 0 || p99 > slo {
 			fmt.Printf("ramp:       %d sessions BROKE the SLO (p99 %v > %v, %d failed)\n",
-				n, p99.Round(10*time.Microsecond), slo, sum.failed)
+				n, p99.Round(10*time.Microsecond), slo, rep.Failed)
 			break
 		}
 		best = n
@@ -118,180 +159,24 @@ func runRamp(addr string, buffer, delay, cap, start int, grow float64, slo time.
 	fmt.Printf("max sustainable sessions: %d at p99 step lag <= %v\n", best, slo)
 }
 
-// runWave opens n concurrent sessions and waits for all of them.
-func runWave(addr string, n, buffer, delay int, verbose bool) ([]result, time.Duration) {
-	results := make([]result, n)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = runSession(addr, buffer, delay)
-			if verbose {
-				if err := results[i].err; err != nil {
-					log.Printf("smoothload: session %d (%s): %v", i, results[i].stage, err)
-				} else {
-					log.Printf("smoothload: session %d done in %v", i, results[i].elapsed.Round(time.Millisecond))
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	return results, time.Since(start)
-}
-
-// runSession performs one full handshake-receive-play session, measuring
-// the lag of every data message against the pacing schedule.
-func runSession(addr string, buffer, delay int) result {
-	var res result
-	fail := func(stage string, err error) result {
-		res.stage, res.err = stage, err
-		return res
-	}
-	begin := time.Now()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return fail(stageDial, err)
-	}
-	defer conn.Close()
-
-	if err := netstream.WriteHello(conn, netstream.Hello{
-		ClientBuffer: uint32(buffer),
-		DesiredDelay: uint32(delay),
-	}); err != nil {
-		return fail(stageHandshake, err)
-	}
-	dec := netstream.NewDecoder(conn)
-	msg, err := dec.Next()
-	if err != nil {
-		return fail(stageHandshake, fmt.Errorf("reading accept: %w", err))
-	}
-	if msg.Accept == nil {
-		return fail(stageHandshake, fmt.Errorf("expected accept, got %+v", msg))
-	}
-	acc := *msg.Accept
-	stepDur := time.Duration(acc.StepMicros) * time.Microsecond
-	rcv, err := netstream.NewReceiver(int(acc.Delay))
-	if err != nil {
-		return fail(stageHandshake, err)
-	}
-	res.stats.Delay = int(acc.Delay)
-
-	playUpTo := -1
-	flush := func(step int) {
-		for playUpTo < step {
-			playUpTo++
-			ev := rcv.Play(playUpTo)
-			for _, sl := range ev.Slices {
-				res.stats.Played++
-				res.stats.PlayedBytes += sl.Size
-			}
-			res.stats.Incomplete += ev.Incomplete
-		}
-	}
-
-	var anchor time.Time
-	anchored := false
-	maxFrame := -1
-	for {
-		msg, err := dec.Next()
-		if err != nil {
-			return fail(stageMidStream, err)
-		}
-		if msg.End {
-			break
-		}
-		if msg.Data == nil {
-			return fail(stageMidStream, fmt.Errorf("unexpected message %+v", msg))
-		}
-		d := msg.Data
-		now := time.Now()
-		ideal := time.Duration(d.SendStep) * stepDur
-		if !anchored {
-			anchor = now.Add(-ideal)
-			anchored = true
-		}
-		res.lags = append(res.lags, float64(now.Sub(anchor.Add(ideal))/time.Microsecond))
-		res.bytes += int64(len(d.Payload))
-		if int(d.Arrival) > maxFrame {
-			maxFrame = int(d.Arrival)
-		}
-		flush(int(d.SendStep) - 1)
-		if err := rcv.Ingest(d); err != nil {
-			return fail(stageMidStream, err)
-		}
-	}
-	flush(maxFrame + int(acc.Delay))
-	res.stats.LateBytes = rcv.LateBytes()
-	res.stats.MaxBuffer = rcv.MaxOccupancy()
-	res.elapsed = time.Since(begin)
-
-	// Rebase the lags on the session's fastest message: the anchor message
-	// itself may have been delayed (e.g. by the connection burst), which
-	// would make everything after it look early. After rebasing, lag is
-	// non-negative jitter behind the best-case pacing schedule.
-	min := 0.0
-	for _, l := range res.lags {
-		if l < min {
-			min = l
-		}
-	}
-	for i := range res.lags {
-		res.lags[i] -= min
-	}
-	return res
-}
-
-// summary carries the aggregates a ramp wave decides on.
-type summary struct {
-	failed int
-	p99    float64 // µs; 0 when no messages were measured
-}
-
-func report(results []result, wall time.Duration) summary {
-	completed, failed := 0, 0
-	byStage := map[string]int{}
-	var bytes int64
-	var lags []float64
-	incomplete, late := 0, 0
-	maxIncomplete, played := 0, 0
-	for _, r := range results {
-		if r.err != nil {
-			failed++
-			byStage[r.stage]++
-			continue
-		}
-		completed++
-		bytes += r.bytes
-		lags = append(lags, r.lags...)
-		played += r.stats.Played
-		incomplete += r.stats.Incomplete
-		late += r.stats.LateBytes
-		if r.stats.Incomplete > maxIncomplete {
-			maxIncomplete = r.stats.Incomplete
-		}
-	}
-	secs := wall.Seconds()
+func report(r loadgen.Report) {
+	secs := r.Elapsed.Seconds()
 	fmt.Printf("sessions:   %d completed, %d failed (%d dial, %d handshake, %d mid-stream) in %v (%.1f sessions/s)\n",
-		completed, failed, byStage[stageDial], byStage[stageHandshake], byStage[stageMidStream],
-		wall.Round(time.Millisecond), float64(completed)/secs)
+		r.Completed, r.Failed, r.DialFailed, r.HandshakeFailed, r.MidStreamFailed,
+		r.Elapsed.Round(time.Millisecond), float64(r.Completed)/secs)
 	fmt.Printf("throughput: %d payload bytes (%.1f KB/s aggregate)\n",
-		bytes, float64(bytes)/1024/secs)
-	sum := summary{failed: failed}
-	if len(lags) > 0 {
-		q := stats.Quantiles(lags, 0.50, 0.99, 0.999)
-		sum.p99 = q[1]
+		r.Bytes, float64(r.Bytes)/1024/secs)
+	if r.Lag.Count() > 0 {
 		fmt.Printf("step lag:   p50 %s, p99 %s, p99.9 %s  (%d messages)\n",
-			fmtMicros(q[0]), fmtMicros(q[1]), fmtMicros(q[2]), len(lags))
+			fmtMicros(r.Lag.Quantile(0.50)), fmtMicros(r.Lag.Quantile(0.99)),
+			fmtMicros(r.Lag.Quantile(0.999)), r.Lag.Count())
 	}
-	if completed > 0 {
+	if r.Completed > 0 {
 		fmt.Printf("loss:       %d slices played, %d incomplete (mean %.2f/session, max %d), %d late bytes\n",
-			played, incomplete, float64(incomplete)/float64(completed), maxIncomplete, late)
+			r.Played, r.Incomplete, float64(r.Incomplete)/float64(r.Completed), r.MaxIncomplete, r.LateBytes)
 	}
-	return sum
 }
 
-func fmtMicros(us float64) string {
-	return time.Duration(us * float64(time.Microsecond)).Round(10 * time.Microsecond).String()
+func fmtMicros(us int64) string {
+	return (time.Duration(us) * time.Microsecond).Round(10 * time.Microsecond).String()
 }

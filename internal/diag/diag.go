@@ -1,0 +1,62 @@
+// Package diag wires the profiling surface capacity runs need: an optional
+// net/http/pprof endpoint and a SIGUSR1-triggered one-line runtime
+// snapshot, shared by cmd/smoothd and cmd/smoothload so a 100k-session run
+// can be profiled from outside without stopping it.
+package diag
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+)
+
+// Serve exposes net/http/pprof on addr (e.g. "localhost:6060") in a
+// background goroutine. The listen error is returned synchronously so a
+// bad -pprof flag fails fast; serve errors after that are logged.
+func Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("diag: pprof listen %s: %w", addr, err)
+	}
+	log.Printf("diag: pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("diag: pprof server: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Snapshot returns a one-line runtime summary: goroutines, heap in use,
+// total process memory obtained from the OS, GC cycles, cumulative GC
+// pause, and the most recent pause.
+func Snapshot() string {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	lastPause := m.PauseNs[(m.NumGC+255)%256]
+	return fmt.Sprintf("goroutines=%d heap=%.1fMiB sys=%.1fMiB gc=%d pause_total=%.3fms pause_last=%.3fms",
+		runtime.NumGoroutine(),
+		float64(m.HeapInuse)/(1<<20),
+		float64(m.Sys)/(1<<20),
+		m.NumGC,
+		float64(m.PauseTotalNs)/1e6,
+		float64(lastPause)/1e6)
+}
+
+// SnapshotOnSIGUSR1 logs Snapshot each time the process receives SIGUSR1,
+// from a background goroutine that lives for the life of the process.
+func SnapshotOnSIGUSR1() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	go func() {
+		for range ch {
+			log.Printf("diag: %s", Snapshot())
+		}
+	}()
+}

@@ -1,0 +1,297 @@
+package loadgen
+
+import (
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netstream"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// startServer runs a real serving engine on an ephemeral loopback port
+// and returns its address.
+func startServer(t *testing.T, frames int, step time.Duration, rateFactor float64) string {
+	t.Helper()
+	clip, err := trace.Generate(func() trace.GenConfig {
+		cfg := trace.DefaultGenConfig()
+		cfg.Frames = frames
+		cfg.Seed = 1
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := int(rateFactor * clip.AverageRate())
+	if rate < 1 {
+		rate = 1
+	}
+	eng, err := serve.New(clip, trace.PaperWeights(), serve.Config{
+		Rate:         rate,
+		Shards:       1,
+		StepDuration: step,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { _ = eng.Handle(c) }(conn)
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		eng.Close()
+	})
+	return ln.Addr().String()
+}
+
+// collectRun drives one wave of n sessions with per-session digests and
+// returns the stats indexed by session.
+func collectRun(t *testing.T, addr string, shards, n int) []SessionStats {
+	t.Helper()
+	out := make([]SessionStats, n)
+	var mu sync.Mutex
+	eng, err := New(Config{
+		Addrs:  []string{addr},
+		Shards: shards,
+		Delay:  8,
+		Digest: true,
+		OnSessionDone: func(st SessionStats) {
+			mu.Lock()
+			out[st.Index] = st
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rep, err := eng.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		for _, st := range out {
+			if st.Err != nil {
+				t.Logf("session %d (%s): %v", st.Index, st.Stage, st.Err)
+			}
+		}
+		t.Fatalf("%d of %d sessions failed", rep.Failed, n)
+	}
+	return out
+}
+
+// TestShardCountInvariance: the number of reactor shards is a capacity
+// knob, not a semantic one — every session must decode exactly the same
+// message sequence (same slices, steps, offsets — hence same drops)
+// whether one shard drains all sockets or four split them.
+func TestShardCountInvariance(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("loadgen reactor requires linux")
+	}
+	// Under-provisioned (rate factor < 1) so the server's drop policy
+	// actually sheds slices — the drop sequence is part of the digest.
+	addr := startServer(t, 50, 2*time.Millisecond, 0.8)
+	const n = 48
+	one := collectRun(t, addr, 1, n)
+	four := collectRun(t, addr, 4, n)
+	for i := range one {
+		if one[i].Digest != four[i].Digest {
+			t.Errorf("session %d: digest %x with 1 shard, %x with 4", i, one[i].Digest, four[i].Digest)
+		}
+		if one[i].Played != four[i].Played || one[i].Incomplete != four[i].Incomplete ||
+			one[i].Steps != four[i].Steps || one[i].Bytes != four[i].Bytes {
+			t.Errorf("session %d: (played %d, incomplete %d, steps %d, bytes %d) vs (%d, %d, %d, %d)",
+				i, one[i].Played, one[i].Incomplete, one[i].Steps, one[i].Bytes,
+				four[i].Played, four[i].Incomplete, four[i].Steps, four[i].Bytes)
+		}
+	}
+	// Same cohort, same schedule: every session sees the same stream.
+	for i := 1; i < n; i++ {
+		if one[i].Digest != one[0].Digest {
+			t.Errorf("session %d: digest %x differs from session 0's %x within one run", i, one[i].Digest, one[0].Digest)
+		}
+	}
+}
+
+// TestStageFailureAccounting injects failures at each stage of a
+// session's life and checks they land in the right counters.
+func TestStageFailureAccounting(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("loadgen reactor requires linux")
+	}
+	countStages := func(t *testing.T, addr string, n int) (map[string]int, Report) {
+		t.Helper()
+		stages := map[string]int{}
+		var mu sync.Mutex
+		eng, err := New(Config{
+			Addrs:       []string{addr},
+			Shards:      1,
+			Delay:       4,
+			DialTimeout: 2 * time.Second,
+			IdleTimeout: 2 * time.Second,
+			OnSessionDone: func(st SessionStats) {
+				mu.Lock()
+				stages[st.Stage]++
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		rep, err := eng.Run(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stages, rep
+	}
+
+	t.Run("dial", func(t *testing.T) {
+		// A listener opened and immediately closed: connections refused.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		stages, rep := countStages(t, addr, 6)
+		if rep.DialFailed != 6 || stages[StageDial] != 6 || rep.Completed != 0 {
+			t.Fatalf("want 6 dial failures, got report %+v stages %v", rep, stages)
+		}
+	})
+
+	t.Run("handshake", func(t *testing.T) {
+		// Accept then close before answering the hello.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+		stages, rep := countStages(t, ln.Addr().String(), 6)
+		if rep.HandshakeFailed != 6 || stages[StageHandshake] != 6 || rep.Completed != 0 {
+			t.Fatalf("want 6 handshake failures, got report %+v stages %v", rep, stages)
+		}
+	})
+
+	t.Run("mid-stream", func(t *testing.T) {
+		// Complete the handshake, send a little data, hang up before End.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func(c net.Conn) {
+					defer c.Close()
+					if msg, err := netstream.ReadMsg(c); err != nil || msg.Hello == nil {
+						return
+					}
+					_ = netstream.WriteAccept(c, netstream.Accept{
+						Rate: 10, Delay: 4, ServerBuffer: 40, StepMicros: 1000,
+					})
+					for step := uint32(0); step < 3; step++ {
+						_ = netstream.WriteData(c, netstream.Data{
+							SliceID: step, Arrival: step, Size: 4, Weight: 1,
+							SendStep: step, Payload: []byte{1, 2, 3, 4},
+						})
+					}
+					// No End: the close below is a mid-stream hangup.
+				}(c)
+			}
+		}()
+		stages, rep := countStages(t, ln.Addr().String(), 6)
+		if rep.MidStreamFailed != 6 || stages[StageMidStream] != 6 || rep.Completed != 0 {
+			t.Fatalf("want 6 mid-stream failures, got report %+v stages %v", rep, stages)
+		}
+	})
+}
+
+// TestLoopbackCapacitySmoke runs a small end-to-end wave against a real
+// serving engine — the verify.sh gate; LOADGEN_SMOKE overrides the
+// session count for bigger manual runs.
+func TestLoopbackCapacitySmoke(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("loadgen reactor requires linux")
+	}
+	n := 256
+	if env := os.Getenv("LOADGEN_SMOKE"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("bad LOADGEN_SMOKE=%q", env)
+		}
+		n = v
+	}
+	addr := startServer(t, 40, 4*time.Millisecond, 1.1)
+	eng, err := New(Config{Addrs: []string{addr}, Delay: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	rep, err := eng.Run(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != n || rep.Failed != 0 {
+		t.Fatalf("wave of %d: %d completed, %d failed (%d dial, %d handshake, %d mid-stream)",
+			n, rep.Completed, rep.Failed, rep.DialFailed, rep.HandshakeFailed, rep.MidStreamFailed)
+	}
+	if rep.Lag.Count() == 0 || rep.Played == 0 {
+		t.Fatalf("no messages or playout recorded: lag n=%d played=%d", rep.Lag.Count(), rep.Played)
+	}
+	if rep.Bytes == 0 || rep.Dial.Count() != int64(n) {
+		t.Fatalf("throughput/stage accounting empty: bytes=%d dials=%d", rep.Bytes, rep.Dial.Count())
+	}
+	t.Logf("%d sessions in %v (%.0f sessions/s), lag p50=%dµs p99=%dµs p99.9=%dµs",
+		n, rep.Elapsed.Round(time.Millisecond), float64(rep.Completed)/rep.Elapsed.Seconds(),
+		rep.Lag.Quantile(0.5), rep.Lag.Quantile(0.99), rep.Lag.Quantile(0.999))
+}
+
+// TestRunErrors: wave-size validation and closed-engine behavior.
+func TestRunErrors(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("loadgen reactor requires linux")
+	}
+	eng, err := New(Config{Addrs: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(0); err == nil {
+		t.Error("Run(0) accepted")
+	}
+	eng.Close()
+	if _, err := eng.Run(1); err == nil {
+		t.Error("Run on a closed engine accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without addresses accepted")
+	}
+}

@@ -1,0 +1,180 @@
+//go:build linux
+
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"syscall"
+)
+
+const (
+	// epollWaitMs bounds one reactor nap; it also bounds how long a
+	// queued session waits for admission and how stale an idle scan can
+	// be. 10ms sits well under the smallest practical step duration.
+	epollWaitMs = 10
+	// maxEvents is the per-wait event batch; more ready sessions than
+	// this simply surface on the next wait (level-triggered).
+	maxEvents = 1024
+	// idleScanChunk bounds the idle-timeout sweep per wake so a 100k
+	// session shard does not walk its whole table every 10ms.
+	idleScanChunk = 256
+)
+
+// poller wraps one epoll set. All sockets the runtime hands us are
+// already non-blocking, so the shard reads them directly with
+// syscall.Read and lets epoll say when that is worthwhile.
+type poller struct {
+	epfd   int
+	events []syscall.EpollEvent
+}
+
+func newPoller() (*poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: epoll_create: %w", err)
+	}
+	return &poller{epfd: epfd, events: make([]syscall.EpollEvent, maxEvents)}, nil
+}
+
+func (p *poller) add(fd int) error {
+	ev := syscall.EpollEvent{
+		Events: syscall.EPOLLIN | syscall.EPOLLRDHUP,
+		Fd:     int32(fd),
+	}
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev)
+}
+
+func (p *poller) del(fd int) error {
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+}
+
+func (p *poller) close() {
+	if p.epfd >= 0 {
+		_ = syscall.Close(p.epfd)
+		p.epfd = -1
+	}
+}
+
+// run is the shard reactor loop: wait for readable sockets, stamp the
+// shard clock once, admit queued sessions, drain every ready socket
+// against that one stamp, sweep a bounded idle chunk.
+//
+// The single stamp per wake is the generator-side half of the step-lag
+// fix: the old per-session clients took a wall-clock reading per message
+// after an arbitrary scheduler delay, so under load the generator's own
+// jitter was indistinguishable from server lag. Here every message
+// drained in a wake shares one monotonic reading taken immediately after
+// epoll_wait returns, so a reported lag can exceed truth by at most the
+// drain time of one wake.
+func (sh *shard) run() {
+	defer sh.eng.loopWG.Done()
+	for {
+		n, err := syscall.EpollWait(sh.poller.epfd, sh.poller.events, epollWaitMs)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			n = 0
+		}
+		now := sh.eng.monotonic()
+		sh.admit(now)
+		for i := 0; i < n; i++ {
+			if s := sh.lookupFd(int(sh.poller.events[i].Fd)); s != nil {
+				sh.drainFd(s, now)
+			}
+		}
+		sh.scanIdle(now)
+		if sh.eng.closing.Load() {
+			sh.shutdown()
+			return
+		}
+	}
+}
+
+// drainFd empties one ready socket into the shard scratch buffer and
+// feeds the bytes through the decoder. A short read means the socket
+// buffer is (momentarily) empty; level-triggered epoll re-arms for
+// whatever arrives next.
+//
+//smoothvet:noalloc
+func (sh *shard) drainFd(s *session, now int64) {
+	for {
+		n, err := syscall.Read(s.fd, sh.scratch)
+		if n > 0 {
+			s.lastData = now
+			if ferr := sh.feed(s, sh.scratch[:n], now); ferr != nil {
+				sh.retire(s, StageMidStream, ferr)
+				return
+			}
+			if s.ended {
+				sh.retire(s, "", nil)
+				return
+			}
+			if n < len(sh.scratch) {
+				return
+			}
+			continue
+		}
+		if err == nil {
+			// EOF before End: the peer hung up mid-stream.
+			sh.retire(s, StageMidStream, io.ErrUnexpectedEOF)
+			return
+		}
+		if en, ok := err.(syscall.Errno); ok {
+			if en == syscall.EAGAIN {
+				return
+			}
+			if en == syscall.EINTR {
+				continue
+			}
+		}
+		sh.retire(s, StageMidStream, err)
+		return
+	}
+}
+
+// scanIdle sweeps up to idleScanChunk sessions for idle timeout,
+// resuming where the last wake left off.
+func (sh *shard) scanIdle(now int64) {
+	limit := int64(sh.eng.cfg.IdleTimeout)
+	if limit <= 0 || len(sh.sessions) == 0 {
+		return
+	}
+	k := idleScanChunk
+	if k > len(sh.sessions) {
+		k = len(sh.sessions)
+	}
+	for ; k > 0; k-- {
+		if sh.idleCur >= len(sh.sessions) {
+			sh.idleCur = 0
+		}
+		if len(sh.sessions) == 0 {
+			return
+		}
+		s := sh.sessions[sh.idleCur]
+		if now-s.lastData > limit {
+			// The swap-remove moves another session into idleCur; it is
+			// re-examined on a later pass.
+			sh.retire(s, StageMidStream, errIdleTimeout)
+			continue
+		}
+		sh.idleCur++
+	}
+}
+
+// shutdown aborts every live and queued session and releases the epoll
+// set. Runs once, on the shard goroutine, after Engine.Close.
+func (sh *shard) shutdown() {
+	for len(sh.sessions) > 0 {
+		sh.retire(sh.sessions[len(sh.sessions)-1], StageMidStream, errEngineClosed)
+	}
+	sh.mu.Lock()
+	pend := sh.incoming
+	sh.incoming = nil
+	sh.mu.Unlock()
+	for _, s := range pend {
+		sh.retire(s, StageMidStream, errEngineClosed)
+	}
+	sh.poller.close()
+}

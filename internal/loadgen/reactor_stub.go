@@ -1,0 +1,21 @@
+//go:build !linux
+
+package loadgen
+
+import "fmt"
+
+// The reactor needs epoll; elsewhere New fails fast and these stubs only
+// keep the package compiling (the socket-free feed path still works, so
+// the density benchmarks and unit tests run on any platform).
+
+type poller struct{}
+
+func newPoller() (*poller, error) {
+	return nil, fmt.Errorf("loadgen: the client reactor requires linux (epoll)")
+}
+
+func (p *poller) add(fd int) error { return nil }
+func (p *poller) del(fd int) error { return nil }
+func (p *poller) close()           {}
+
+func (sh *shard) run() { sh.eng.loopWG.Done() }

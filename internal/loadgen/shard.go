@@ -1,0 +1,383 @@
+package loadgen
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netstream"
+	"repro/internal/stats"
+)
+
+// shardScratchSize is the per-shard read buffer: one non-blocking read
+// drains up to this much of a socket before yielding to the next ready
+// session.
+const shardScratchSize = 256 << 10
+
+var (
+	errUnexpectedMsg = errors.New("loadgen: unexpected message mid-stream")
+	errBadSlice      = errors.New("loadgen: data message with invalid size or offset")
+	errIdleTimeout   = errors.New("loadgen: session idle timeout")
+	errEngineClosed  = errors.New("loadgen: engine is closed")
+)
+
+// session is one client stream's state between reactor wakes: an fd, a
+// lag anchor, a partial-message tail and a sliding receive window. It
+// has no goroutine and no timer; everything below ~anchorWindow messages
+// is fixed-size, and pending/win reach a stream-dependent steady state.
+type session struct {
+	idx  int
+	conn net.Conn
+	fd   int
+	pos  int // index in shard.sessions, maintained across swap-removes
+
+	delay     int
+	stepNanos int64
+
+	// Lag anchor (see the package comment): provisional at the first
+	// message, refined by the minimum of the first anchorWindow lags.
+	anchored bool
+	refined  bool
+	nEarly   int
+	early    [anchorWindow]int64 // µs, relative to the provisional anchor
+	anchor   int64               // engine-monotonic nanos of schedule zero
+	rebase   int64               // µs subtracted from post-refinement lags
+
+	lastData int64  // shard stamp of the last readable byte (idle timeout)
+	pending  []byte // partial-message tail carried between reads
+	ended    bool   // End decoded; retire as completed
+
+	win     core.RecvWindow
+	bytes   int64
+	msgs    int64
+	maxStep int
+	digest  uint64
+	start   time.Time
+}
+
+// tally accumulates one shard's finished-session aggregates; only the
+// owning shard goroutine touches it.
+type tally struct {
+	completed       int
+	midStreamFailed int
+	bytes           int64
+	msgs            int64
+	played          int
+	incomplete      int
+	maxIncomplete   int
+	lateBytes       int
+}
+
+// shard owns a set of sessions and the reactor resources they share: one
+// poller, one scratch read buffer, one decoder, one lag histogram.
+type shard struct {
+	eng    *Engine
+	poller *poller
+
+	scratch []byte
+	br      bytes.Reader
+	dec     *netstream.Decoder
+
+	mu       sync.Mutex // guards incoming only
+	incoming []*session
+	spare    []*session
+
+	sessions []*session
+	byFd     []*session
+	idleCur  int
+
+	lag   *stats.LogHistogram
+	tally tally
+}
+
+// newShardCore builds a shard without a poller — the socket-free form the
+// density benchmarks drive through feed directly.
+func newShardCore(e *Engine) *shard {
+	sh := &shard{
+		eng:     e,
+		scratch: make([]byte, shardScratchSize),
+		byFd:    make([]*session, 1024),
+		lag:     stats.NewLogHistogram(stats.DefaultLogHistSubBits),
+	}
+	sh.dec = netstream.NewDecoder(&sh.br)
+	return sh
+}
+
+func newShard(e *Engine) (*shard, error) {
+	p, err := newPoller()
+	if err != nil {
+		return nil, err
+	}
+	sh := newShardCore(e)
+	sh.poller = p
+	return sh, nil
+}
+
+func (sh *shard) resetStats() {
+	sh.lag.Reset()
+	sh.tally = tally{}
+}
+
+// enqueue hands a freshly handshaken session to the shard; it reports
+// false when the engine is closing and the session was not accepted.
+func (sh *shard) enqueue(s *session) bool {
+	sh.mu.Lock()
+	if sh.eng.closing.Load() {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.incoming = append(sh.incoming, s)
+	sh.mu.Unlock()
+	return true
+}
+
+// admit registers every queued session. Runs on the shard goroutine.
+func (sh *shard) admit(now int64) {
+	sh.mu.Lock()
+	if len(sh.incoming) == 0 {
+		sh.mu.Unlock()
+		return
+	}
+	pend := sh.incoming
+	sh.incoming = sh.spare[:0]
+	sh.mu.Unlock()
+	for i := range pend {
+		sh.register(pend[i], now)
+		pend[i] = nil
+	}
+	sh.spare = pend[:0]
+}
+
+func (sh *shard) register(s *session, now int64) {
+	if err := sh.poller.add(s.fd); err != nil {
+		sh.retire(s, StageMidStream, err)
+		return
+	}
+	s.pos = len(sh.sessions)
+	sh.sessions = append(sh.sessions, s)
+	if s.fd >= len(sh.byFd) {
+		grown := make([]*session, s.fd+s.fd/2+1)
+		copy(grown, sh.byFd)
+		sh.byFd = grown
+	}
+	sh.byFd[s.fd] = s
+	s.lastData = now
+	// No immediate drain: epoll is level-triggered, so bytes that arrived
+	// while the session sat in the queue surface on the next wait.
+}
+
+func (sh *shard) lookupFd(fd int) *session {
+	if fd < 0 || fd >= len(sh.byFd) {
+		return nil
+	}
+	return sh.byFd[fd]
+}
+
+// retire finishes a session: success when stage is "", else a mid-stream
+// failure. Runs on the shard goroutine.
+func (sh *shard) retire(s *session, stage string, err error) {
+	if sh.poller != nil && s.fd >= 0 {
+		_ = sh.poller.del(s.fd)
+	}
+	if s.fd >= 0 && s.fd < len(sh.byFd) && sh.byFd[s.fd] == s {
+		sh.byFd[s.fd] = nil
+	}
+	if last := len(sh.sessions) - 1; last >= 0 && s.pos >= 0 && s.pos <= last && sh.sessions[s.pos] == s {
+		sh.sessions[s.pos] = sh.sessions[last]
+		sh.sessions[s.pos].pos = s.pos
+		sh.sessions[last] = nil
+		sh.sessions = sh.sessions[:last]
+		if sh.idleCur > last {
+			sh.idleCur = 0
+		}
+	}
+	if s.conn != nil {
+		_ = s.conn.Close()
+	}
+	if !s.refined && s.nEarly > 0 {
+		sh.flushEarly(s)
+	}
+	if stage == "" {
+		s.win.Finish()
+		sh.tally.completed++
+		sh.tally.bytes += s.bytes
+		sh.tally.msgs += s.msgs
+		sh.tally.played += s.win.Played()
+		sh.tally.incomplete += s.win.Incomplete()
+		sh.tally.lateBytes += s.win.LateBytes()
+		if s.win.Incomplete() > sh.tally.maxIncomplete {
+			sh.tally.maxIncomplete = s.win.Incomplete()
+		}
+	} else {
+		sh.tally.midStreamFailed++
+	}
+	if cb := sh.eng.cfg.OnSessionDone; cb != nil {
+		cb(SessionStats{
+			Index:      s.idx,
+			Stage:      stage,
+			Err:        err,
+			Steps:      s.maxStep + 1,
+			Bytes:      s.bytes,
+			Played:     s.win.Played(),
+			Incomplete: s.win.Incomplete(),
+			LateBytes:  s.win.LateBytes(),
+			MaxBuffer:  s.win.MaxOccupancy(),
+			Digest:     s.digest,
+			Elapsed:    time.Since(s.start),
+		})
+	}
+	sh.eng.finishOne()
+}
+
+// feed pushes freshly read bytes through the shard decoder, carrying any
+// partial-message tail over in the session's pending buffer. This is the
+// per-step hot path: steady state performs no allocation (pending grows
+// to the largest partial tail once, then is reused).
+//
+//smoothvet:noalloc
+func (sh *shard) feed(s *session, chunk []byte, now int64) error {
+	buf := chunk
+	if len(s.pending) > 0 {
+		s.pending = append(s.pending, chunk...)
+		buf = s.pending
+	}
+	consumed, err := sh.parse(s, buf, now)
+	if err != nil {
+		return err
+	}
+	rest := buf[consumed:]
+	if len(s.pending) > 0 {
+		// Shift the unconsumed tail to the front; copy is overlap-safe.
+		n := copy(s.pending, rest)
+		s.pending = s.pending[:n]
+	} else if len(rest) > 0 {
+		s.pending = s.pending[:0]
+		s.pending = append(s.pending, rest...)
+	}
+	return nil
+}
+
+// parse decodes every complete message in buf, returning the bytes
+// consumed. SizeNext frames each message so the shard decoder reads from
+// an exact in-memory slice — no per-session decoder state, no blocking.
+//
+//smoothvet:noalloc
+func (sh *shard) parse(s *session, buf []byte, now int64) (int, error) {
+	off := 0
+	for {
+		n, err := netstream.SizeNext(buf[off:])
+		if err != nil {
+			return off, err
+		}
+		if n == 0 || n > len(buf)-off {
+			return off, nil
+		}
+		sh.br.Reset(buf[off : off+n])
+		msg, err := sh.dec.Next()
+		if err != nil {
+			return off, err
+		}
+		off += n
+		switch {
+		case msg.Data != nil:
+			if err := sh.onData(s, msg.Data, now); err != nil {
+				return off, err
+			}
+		case msg.End:
+			s.ended = true
+			return off, nil
+		default:
+			return off, errUnexpectedMsg
+		}
+	}
+}
+
+// onData applies one data message: lag measurement against the pacing
+// schedule, then the seed client's flush-then-ingest playout order on
+// the receive window.
+//
+//smoothvet:noalloc
+func (sh *shard) onData(s *session, d *netstream.Data, now int64) error {
+	if d.Size == 0 || d.Size > netstream.MaxPayload {
+		return errBadSlice
+	}
+	if int(d.Offset)+len(d.Payload) > int(d.Size) {
+		return errBadSlice
+	}
+	ideal := int64(d.SendStep) * s.stepNanos
+	if !s.anchored {
+		s.anchor = now - ideal
+		s.anchored = true
+	}
+	lag := (now - s.anchor - ideal) / int64(time.Microsecond)
+	if !s.refined {
+		s.early[s.nEarly] = lag
+		s.nEarly++
+		if s.nEarly == anchorWindow {
+			sh.flushEarly(s)
+		}
+	} else {
+		sh.lag.Add(lag - s.rebase)
+	}
+	s.bytes += int64(len(d.Payload))
+	s.msgs++
+	step := int(d.SendStep)
+	if step > s.maxStep {
+		s.maxStep = step
+	}
+	// Frames due strictly before this message's send step have reached
+	// their playout deadline: resolve them, then ingest (the seed
+	// client's flush(SendStep-1) ordering).
+	s.win.ResolveTo(step - 1 - s.delay)
+	s.win.Ingest(int32(d.SliceID), int(d.Arrival), int32(d.Size), int32(len(d.Payload)))
+	if sh.eng.cfg.Digest {
+		s.digest = fnvFold(fnvFold(fnvFold(fnvFold(s.digest, d.SliceID), d.SendStep), d.Offset), uint32(len(d.Payload)))
+	}
+	return nil
+}
+
+// flushEarly rebases the buffered leading lags by their minimum and
+// records them; later lags subtract the same rebase.
+//
+//smoothvet:noalloc
+func (sh *shard) flushEarly(s *session) {
+	if s.nEarly == 0 {
+		s.refined = true
+		return
+	}
+	min := s.early[0]
+	for _, v := range s.early[:s.nEarly] {
+		if v < min {
+			min = v
+		}
+	}
+	s.rebase = min
+	for _, v := range s.early[:s.nEarly] {
+		sh.lag.Add(v - min)
+	}
+	s.refined = true
+	s.nEarly = 0
+}
+
+// FNV-1a over little-endian uint32s: the per-session message-sequence
+// digest the shard-count invariance tests compare.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+//smoothvet:noalloc
+func fnvFold(h uint64, v uint32) uint64 {
+	h ^= uint64(v & 0xff)
+	h *= fnvPrime64
+	h ^= uint64((v >> 8) & 0xff)
+	h *= fnvPrime64
+	h ^= uint64((v >> 16) & 0xff)
+	h *= fnvPrime64
+	h ^= uint64(v >> 24)
+	h *= fnvPrime64
+	return h
+}

@@ -332,6 +332,47 @@ type Decoder struct {
 // NewDecoder returns a decoder reading from r.
 func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
 
+// Reset switches the decoder to read from r, retaining the payload scratch
+// buffer. The load generator's shard reactors use one decoder per shard,
+// re-pointed at each session's buffered bytes, so ten thousand sessions
+// share one scratch allocation.
+//
+//smoothvet:noalloc
+func (dec *Decoder) Reset(r io.Reader) { dec.r = r }
+
+// SizeNext reports the total encoded length — tag byte included — of the
+// first message in buf, when buf holds enough bytes to determine it. It
+// returns 0 (and no error) when more bytes are needed, and an error for an
+// unknown tag or a payload length beyond MaxPayload. Reactor-style readers
+// use it to feed a Decoder only complete messages, so a partial message
+// split across reads is never mistaken for truncation.
+//
+//smoothvet:noalloc
+func SizeNext(buf []byte) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	switch buf[0] {
+	case msgHello:
+		return 1 + helloBodyLen, nil
+	case msgAccept:
+		return 1 + acceptBodyLen, nil
+	case msgData:
+		if len(buf) < 1+dataHeadLen+4 {
+			return 0, nil
+		}
+		n := binary.BigEndian.Uint32(buf[1+dataHeadLen:])
+		if n > MaxPayload {
+			return 0, fmt.Errorf("netstream: payload length %d exceeds limit %d", n, MaxPayload)
+		}
+		return 1 + dataHeadLen + 4 + int(n), nil
+	case msgEnd:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("netstream: unknown message tag %d", buf[0])
+	}
+}
+
 // Next reads and decodes the next message. See the Decoder aliasing
 // contract. io.EOF is returned verbatim only at a clean message boundary;
 // truncation inside a message yields a descriptive error wrapping

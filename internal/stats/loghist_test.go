@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactNearestRank computes the same nearest-rank quantile LogHistogram
+// documents: the ceil(q*n)-th smallest sample.
+func exactNearestRank(sorted []int64, q float64) int64 {
+	rank := int(q*float64(len(sorted)) + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestLogHistogramQuantileError is the histogram's accuracy contract:
+// against adversarially shaped samples, every quantile estimate stays
+// within the documented 1/2^subBits relative error of the exact
+// nearest-rank quantile computed from the sorted sample.
+func TestLogHistogramQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() int64{
+		// Lag-like: lognormal body with a long tail.
+		"lognormal": func() int64 {
+			return int64(math.Exp(rng.NormFloat64()*2 + 8))
+		},
+		// Heavy tail: pareto with alpha 1.2.
+		"pareto": func() int64 {
+			return int64(100 * math.Pow(rng.Float64(), -1/1.2))
+		},
+		"uniform-wide":  func() int64 { return rng.Int63n(1 << 40) },
+		"uniform-small": func() int64 { return rng.Int63n(30) }, // below one sub-bucket span: exact
+		"constant":      func() int64 { return 123456 },
+		"bimodal": func() int64 {
+			if rng.Intn(2) == 0 {
+				return rng.Int63n(100)
+			}
+			return 1_000_000 + rng.Int63n(1000)
+		},
+	}
+	quantiles := []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			h := NewLogHistogram(DefaultLogHistSubBits)
+			samples := make([]int64, 10000)
+			for i := range samples {
+				samples[i] = gen()
+				if samples[i] < 0 { // mirror Add's documented clamp
+					samples[i] = 0
+				}
+				h.Add(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			relBound := 1.0 / float64(int64(1)<<DefaultLogHistSubBits)
+			for _, q := range quantiles {
+				exact := exactNearestRank(samples, q)
+				got := h.Quantile(q)
+				// +1 absorbs integer midpoint rounding on tiny values.
+				tol := int64(relBound*float64(exact)) + 1
+				if diff := got - exact; diff > tol || diff < -tol {
+					t.Errorf("q=%v: histogram %d vs exact %d (tolerance %d)", q, got, exact, tol)
+				}
+			}
+			if h.Min() != samples[0] || h.Max() != samples[len(samples)-1] {
+				t.Errorf("extremes: got [%d, %d], want [%d, %d]", h.Min(), h.Max(), samples[0], samples[len(samples)-1])
+			}
+			var sum int64
+			for _, v := range samples {
+				sum += v
+			}
+			if h.Sum() != sum || h.Count() != int64(len(samples)) {
+				t.Errorf("sum/count: got %d/%d, want %d/%d", h.Sum(), h.Count(), sum, len(samples))
+			}
+		})
+	}
+}
+
+// TestLogHistogramSmallValuesExact: values below 2^subBits occupy unit
+// buckets, so quantiles there are exact, not just within relative error.
+func TestLogHistogramSmallValuesExact(t *testing.T) {
+	h := NewLogHistogram(DefaultLogHistSubBits)
+	samples := make([]int64, 0, 500)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v := rng.Int63n(32)
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if got, want := h.Quantile(q), exactNearestRank(samples, q); got != want {
+			t.Errorf("q=%v: got %d, want exact %d", q, got, want)
+		}
+	}
+}
+
+// TestLogHistogramMerge: merging shard histograms must be equivalent to
+// recording everything into one histogram — the engine's per-shard
+// aggregation depends on it.
+func TestLogHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	whole := NewLogHistogram(DefaultLogHistSubBits)
+	parts := []*LogHistogram{
+		NewLogHistogram(DefaultLogHistSubBits),
+		NewLogHistogram(DefaultLogHistSubBits),
+		NewLogHistogram(DefaultLogHistSubBits),
+	}
+	for i := 0; i < 9999; i++ {
+		v := int64(math.Exp(rng.NormFloat64() + 10))
+		whole.Add(v)
+		parts[i%len(parts)].Add(v)
+	}
+	merged := NewLogHistogram(DefaultLogHistSubBits)
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merge aggregates differ: %v vs %v", merged, whole)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("q=%v: merged %d != whole %d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(DefaultLogHistSubBits)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zero-valued")
+	}
+	h.Add(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative clamp: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+	h.Add(math.MaxInt64)
+	if h.Max() != math.MaxInt64 {
+		t.Fatalf("max int64 lost: %d", h.Max())
+	}
+	if got := h.Quantile(1); got != math.MaxInt64 {
+		t.Fatalf("p100 should clamp to the exact max, got %d", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("reset did not clear")
+	}
+
+	// Bucket round-trips: every reachable bucket's low/high must map back
+	// to it (buckets past bucket(MaxInt64) exist only as array padding).
+	for i := 0; i <= h.bucket(math.MaxInt64); i++ {
+		if h.bucket(h.bucketLow(i)) != i {
+			t.Fatalf("bucketLow(%d)=%d maps to %d", i, h.bucketLow(i), h.bucket(h.bucketLow(i)))
+		}
+		if hi := h.bucketHigh(i); hi > 0 && h.bucket(hi) != i {
+			t.Fatalf("bucketHigh(%d)=%d maps to %d", i, hi, h.bucket(hi))
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("mismatched-resolution merge did not panic")
+		}
+	}()
+	h.Merge(NewLogHistogram(3))
+}

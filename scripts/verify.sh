@@ -32,6 +32,12 @@ go test ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== loopback capacity smoke (1k sessions)"
+# One real client-engine wave against a real serving engine over loopback
+# TCP — the cheap end-to-end check that the sharded client reactor, the
+# wire framing and the playout accounting still work together at density.
+LOADGEN_SMOKE=1000 go test -count=1 -run '^TestLoopbackCapacitySmoke$' ./internal/loadgen
+
 echo "== bench + regression gate"
 # Run every benchmark at the same short protocol the committed baseline was
 # recorded with (-benchtime 5x; BenchmarkSweepWorkers additionally at
@@ -50,12 +56,18 @@ go build -o bin/benchdiff ./cmd/benchdiff
 # — whose pool misses depend on goroutine scheduling — get looser ones.
 # The cohort-served density benchmark is pinned at exactly zero steady-state
 # allocations: the whole point of the compute-once layer is that a shard
-# tick over 100k sessions touches no allocator at all.
+# tick over 100k sessions touches no allocator at all. The client engine's
+# per-step path (BenchmarkLoadgenStep) carries the same zero pin — the dual
+# invariant for the receiving side — while the end-to-end loopback waves
+# get wide bounds: one op there is a full wave of real dials and sessions,
+# so both timing and the dial-path allocation count wobble with the host.
 bin/benchdiff -baseline BENCH_quick.json -current bin/bench_current.json \
     -ns 1.5 -bytes 1.0 -bytes-slack 16384 -allocs 1.0 -allocs-slack 64 \
     -rule 'BenchmarkServerStep:allocs=0.0+4,bytes=0.0+4096' \
     -rule 'BenchmarkSimulate/*:allocs=0.0+4,bytes=0.0+4096' \
     -rule 'BenchmarkSweepWorkers/*/par:allocs=4.0+256,bytes=4.0+65536' \
-    -rule 'BenchmarkEngineStepDensity/cohort/*:allocs=0.0+0,bytes=0.0+0'
+    -rule 'BenchmarkEngineStepDensity/cohort/*:allocs=0.0+0,bytes=0.0+0' \
+    -rule 'BenchmarkLoadgenStep/*:allocs=0.0+0,bytes=0.0+0' \
+    -rule 'BenchmarkLoopback/*:ns=3.0+1000000000,allocs=0.3+8192,bytes=0.5+8388608'
 
 echo "verify: OK"
