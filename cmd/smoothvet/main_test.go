@@ -5,7 +5,10 @@ import "testing"
 // TestRegisteredAnalyzers pins the exact analyzer suite: adding or removing
 // an analyzer must update this list (and DESIGN.md) deliberately.
 func TestRegisteredAnalyzers(t *testing.T) {
-	want := []string{"aliasretain", "determinism", "errloss", "hotpath"}
+	want := []string{
+		"aliasretain", "atomicpair", "clockuse", "determinism",
+		"errloss", "hotpath", "pubimmut", "shardconfine",
+	}
 	got := analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -32,6 +32,7 @@ package aliasretain
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/analysis/framework"
@@ -57,40 +58,59 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// checkFunc runs the intra-procedural taint walk over one function, in
-// source order (vet-grade: values tainted on a later line than their use
-// in a loop are out of scope for this pass).
+// checkFunc runs the intra-procedural taint walk over one function as a
+// forward dataflow problem on the framework CFG: taint introduced on one
+// path — including a loop back edge, where the borrow from a previous
+// iteration is still live — reaches every use control flow can carry it
+// to. The facts map local objects to the aliased API they borrow from,
+// joined by union (may-borrow).
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 	c := &checker{
 		pass:    pass,
 		markers: pass.ParseMarkers(),
-		tainted: make(map[types.Object]string),
 	}
 	c.selfAliased = c.funcIsAliased(pass.TypesInfo.Defs[fd.Name])
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
+	cfg := framework.NewCFG(fd.Body)
+	framework.RunFlow(cfg, framework.Facts{}, func(n ast.Node, facts framework.Facts, report bool) {
+		c.facts = facts
+		c.reporting = report
+		c.node(n)
+	}, nil)
+}
+
+// node applies the taint rules to one CFG node. Nested function literals
+// are walked in place with the enclosing facts: a closure shares its
+// frame's borrows, so a retain inside it is just as wrong.
+func (c *checker) node(n ast.Node) {
+	if rh, ok := n.(*framework.RangeHead); ok {
+		// Range variables hold element copies; the ranged expression
+		// itself is a read. Only nested calls (append/copy) need checking.
+		if rh.Range.X == nil {
+			return
+		}
+		n = rh.Range.X
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
 		case *ast.AssignStmt:
-			c.assign(n)
+			c.assign(m)
 		case *ast.GenDecl:
-			c.varDecl(n)
+			c.varDecl(m)
 		case *ast.SendStmt:
-			if src := c.taintSource(n.Value); src != "" {
-				c.pass.Reportf(n.Arrow, "sending %s on a channel retains memory reused by %s; copy first", types.ExprString(n.Value), src)
+			if src := c.taintSource(m.Value); src != "" {
+				c.reportf(m.Arrow, "sending %s on a channel retains memory reused by %s; copy first", types.ExprString(m.Value), src)
 			}
 		case *ast.ReturnStmt:
 			if c.selfAliased {
 				break
 			}
-			for _, res := range n.Results {
+			for _, res := range m.Results {
 				if src := c.taintSource(res); src != "" {
-					c.pass.Reportf(res.Pos(), "returning %s leaks memory reused by %s; copy it, or annotate this function //smoothvet:aliased to propagate the contract", types.ExprString(res), src)
+					c.reportf(res.Pos(), "returning %s leaks memory reused by %s; copy it, or annotate this function //smoothvet:aliased to propagate the contract", types.ExprString(res), src)
 				}
 			}
 		case *ast.CallExpr:
-			c.call(n)
-		case *ast.RangeStmt:
-			// Range variables hold element copies; the ranged expression
-			// itself is a read. Nothing taints, nothing to flag.
+			c.call(m)
 		}
 		return true
 	})
@@ -99,10 +119,19 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 type checker struct {
 	pass    *framework.Pass
 	markers *framework.Markers
-	// tainted maps a local object to the name of the aliased API whose
-	// memory it borrows.
-	tainted     map[types.Object]string
+	// facts is the current flow state: it maps a local types.Object to the
+	// name of the aliased API whose memory it borrows.
+	facts       framework.Facts
+	reporting   bool
 	selfAliased bool
+}
+
+// reportf emits a diagnostic only during the reporting replay; the
+// fixpoint iterations mutate facts silently.
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if c.reporting {
+		c.pass.Reportf(pos, format, args...)
+	}
 }
 
 func (c *checker) funcIsAliased(obj types.Object) bool {
@@ -136,7 +165,7 @@ func (c *checker) taintSource(e ast.Expr) string {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		if obj := c.pass.TypesInfo.ObjectOf(e); obj != nil {
-			return c.tainted[obj]
+			return c.facts[obj]
 		}
 	case *ast.SelectorExpr:
 		return c.taintSource(e.X)
@@ -188,10 +217,11 @@ func (c *checker) assign(n *ast.AssignStmt) {
 	for i := range n.Lhs {
 		src := c.taintSource(n.Rhs[i])
 		if src == "" {
-			// Overwriting with a clean value clears a local's taint.
+			// Overwriting with a clean value clears a local's taint on
+			// this path (it may survive the join from another path).
 			if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
 				if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
-					delete(c.tainted, obj)
+					delete(c.facts, obj)
 				}
 			}
 			continue
@@ -209,17 +239,17 @@ func (c *checker) checkMutation(lhs ast.Expr) {
 	switch l := ast.Unparen(lhs).(type) {
 	case *ast.IndexExpr:
 		if src := c.taintSource(l.X); src != "" {
-			c.pass.Reportf(lhs.Pos(), "writing into %s mutates memory owned by %s; copy the slice before editing it", types.ExprString(l.X), src)
+			c.reportf(lhs.Pos(), "writing into %s mutates memory owned by %s; copy the slice before editing it", types.ExprString(l.X), src)
 		}
 	case *ast.StarExpr:
 		if src := c.taintSource(l.X); src != "" {
-			c.pass.Reportf(lhs.Pos(), "writing through %s mutates memory owned by %s", types.ExprString(l.X), src)
+			c.reportf(lhs.Pos(), "writing through %s mutates memory owned by %s", types.ExprString(l.X), src)
 		}
 	case *ast.SelectorExpr:
 		if t := c.pass.TypesInfo.TypeOf(l.X); t != nil {
 			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
 				if src := c.taintSource(l.X); src != "" {
-					c.pass.Reportf(lhs.Pos(), "writing %s mutates memory owned by %s", types.ExprString(lhs), src)
+					c.reportf(lhs.Pos(), "writing %s mutates memory owned by %s", types.ExprString(lhs), src)
 				}
 			}
 		}
@@ -243,15 +273,15 @@ func (c *checker) taintOrFlag(lhs ast.Expr, src string, rhs ast.Expr) {
 		}
 		if v, ok := obj.(*types.Var); ok && !v.IsField() && obj.Parent() != c.pass.Pkg.Scope() {
 			if taintable(obj.Type()) {
-				c.tainted[obj] = src
+				c.facts[obj] = src
 			}
 			return
 		}
 		// Package-level variable: escapes every frame.
-		c.pass.Reportf(lhs.Pos(), "storing %s in package variable %s retains memory reused by %s; copy first", types.ExprString(rhs), l.Name, src)
+		c.reportf(lhs.Pos(), "storing %s in package variable %s retains memory reused by %s; copy first", types.ExprString(rhs), l.Name, src)
 	default:
 		// Field, element, or dereference target: outlives the statement.
-		c.pass.Reportf(lhs.Pos(), "storing %s in %s retains memory reused by %s; copy first", types.ExprString(rhs), types.ExprString(lhs), src)
+		c.reportf(lhs.Pos(), "storing %s in %s retains memory reused by %s; copy first", types.ExprString(rhs), types.ExprString(lhs), src)
 	}
 }
 
@@ -268,7 +298,7 @@ func (c *checker) varDecl(n *ast.GenDecl) {
 			}
 			if src := c.taintSource(vs.Values[i]); src != "" {
 				if obj := c.pass.TypesInfo.ObjectOf(name); obj != nil && taintable(obj.Type()) {
-					c.tainted[obj] = src
+					c.facts[obj] = src
 				}
 			}
 		}
@@ -290,20 +320,20 @@ func (c *checker) call(call *ast.CallExpr) {
 			return
 		}
 		if src := c.taintSource(call.Args[0]); src != "" {
-			c.pass.Reportf(call.Pos(), "appending to %s may write into memory owned by %s; copy the slice before growing it", types.ExprString(call.Args[0]), src)
+			c.reportf(call.Pos(), "appending to %s may write into memory owned by %s; copy the slice before growing it", types.ExprString(call.Args[0]), src)
 		}
 		if call.Ellipsis.IsValid() {
 			return // append(dst, tainted...) copies the elements out
 		}
 		for _, a := range call.Args[1:] {
 			if src := c.taintSource(a); src != "" {
-				c.pass.Reportf(a.Pos(), "appending %s as an element retains memory reused by %s; copy first", types.ExprString(a), src)
+				c.reportf(a.Pos(), "appending %s as an element retains memory reused by %s; copy first", types.ExprString(a), src)
 			}
 		}
 	case "copy":
 		if len(call.Args) == 2 {
 			if src := c.taintSource(call.Args[0]); src != "" {
-				c.pass.Reportf(call.Pos(), "copying into %s overwrites memory owned by %s", types.ExprString(call.Args[0]), src)
+				c.reportf(call.Pos(), "copying into %s overwrites memory owned by %s", types.ExprString(call.Args[0]), src)
 			}
 		}
 	}

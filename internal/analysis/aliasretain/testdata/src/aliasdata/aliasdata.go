@@ -93,3 +93,40 @@ func propagate(s *server) []int {
 	res := s.Step()
 	return res.sent // ok: this function is annotated aliased itself
 }
+
+// loopCarried: the borrow taken on a previous iteration is still live when
+// the next iteration re-uses it — the taint rides the loop back edge, which
+// a source-order walk cannot see (res is tainted on a later line than the
+// append that consumes it).
+func loopCarried(s *server) [][]int {
+	var res result
+	var batches [][]int
+	for i := 0; i < 3; i++ {
+		batches = append(batches, res.sent) // want `appending res\.sent as an element retains memory reused by`
+		res = s.Step()
+	}
+	return batches
+}
+
+// loopCleared re-borrows and copies inside every iteration: the clean
+// overwrite kills the taint before the back edge, so nothing is live at
+// the loop head.
+func loopCleared(s *server) [][]int {
+	var batches [][]int
+	for i := 0; i < 3; i++ {
+		res := s.Step()
+		cp := append([]int(nil), res.sent...)
+		batches = append(batches, cp) // ok: cp is a copy
+	}
+	return batches
+}
+
+// branchJoin taints on one arm only: the join keeps the borrow (may-alias),
+// so the store after the if is flagged.
+func branchJoin(s *server, cond bool) {
+	var x []int
+	if cond {
+		x = s.Step().sent
+	}
+	global = x // want `storing x in package variable global retains`
+}

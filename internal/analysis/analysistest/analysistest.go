@@ -11,9 +11,12 @@
 //
 // Expectations are backquoted or double-quoted regular expressions matched
 // against the diagnostic message; every diagnostic must be expected and
-// every expectation must fire, or the test fails. Testdata packages may
-// import only the standard library (they are type-checked with the source
-// importer so the harness needs no compiled artifacts).
+// every expectation must fire, or the test fails. Matching is positional:
+// diagnostics are sorted by source position and each must match the next
+// unconsumed expectation on its exact file and line, so two swapped
+// same-line diagnostics fail. Testdata packages may import only the
+// standard library (they are type-checked with the source importer so the
+// harness needs no compiled artifacts).
 package analysistest
 
 import (
@@ -107,23 +110,43 @@ func runOne(t *testing.T, dir, pkgpath string, a *framework.Analyzer) {
 		t.Fatalf("%s: run: %v", a.Name, err)
 	}
 
-	// Match each diagnostic to an expectation on its line.
+	// Match diagnostics to expectations positionally: diagnostics are
+	// ordered by source position, and each must match the *next* unconsumed
+	// expectation on its exact file and line. Swapping two same-line
+	// diagnostics therefore fails, as does a diagnostic drifting to a
+	// neighboring line — both escaped the original any-on-the-line matcher.
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
 	for _, d := range diags {
 		posn := fset.Position(d.Pos)
 		file := filepath.Base(posn.Filename)
-		matched := false
+		var next *expectation
 		for _, w := range want {
-			if w.re == nil || w.file != file || w.line != posn.Line {
-				continue
-			}
-			if w.re.MatchString(d.Message) {
-				w.re = nil // consume
-				matched = true
+			if w.re != nil && w.file == file && w.line == posn.Line {
+				next = w
 				break
 			}
 		}
-		if !matched {
+		switch {
+		case next == nil:
 			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, file, posn.Line, d.Message)
+		case !next.re.MatchString(d.Message):
+			t.Errorf("%s: diagnostic at %s:%d:%d does not match the next expectation %q: %s",
+				a.Name, file, posn.Line, posn.Column, next.raw, d.Message)
+			next.re = nil // consume to keep later diagnostics aligned
+		default:
+			next.re = nil // consume
 		}
 	}
 	var unmet []string

@@ -1,0 +1,220 @@
+// Package atomicpair defines a smoothvet analyzer enforcing a uniform
+// access discipline per field: once any site in the package accesses a
+// variable or struct field through sync/atomic (atomic.StoreInt64(&x.f),
+// atomic.LoadUint32(&x.f), Add/Swap/CompareAndSwap), every other access to
+// the same field must be atomic too. A plain read racing an atomic store
+// is just as much a data race as two plain writes, and it is the variant
+// -race only catches when the interleaving actually happens in a test run.
+//
+// Fields declared with the sync/atomic wrapper types (atomic.Int64,
+// atomic.Bool, …) are safe by construction — their only access path is
+// method calls — and are the repository's preferred style; this analyzer
+// exists to police the residual old-style call-based usages (and any that
+// review lets back in).
+package atomicpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the atomicpair analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicpair",
+	Doc: "report mixed atomic and plain access to the same variable or field: " +
+		"once one site uses sync/atomic call-based access, every access must",
+	Run: run,
+}
+
+// access is one recorded touch of a tracked object.
+type access struct {
+	pos  token.Pos
+	kind string // "atomic", "write", "read"
+	desc string // the atomic function name, for diagnostics
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{
+		pass:     pass,
+		accesses: make(map[types.Object][]access),
+		inAtomic: make(map[ast.Node]bool),
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.collect)
+	}
+	c.report()
+	return nil
+}
+
+type checker struct {
+	pass     *framework.Pass
+	accesses map[types.Object][]access
+	// inAtomic marks the &x argument expressions of sync/atomic calls so
+	// the generic read collector skips them.
+	inAtomic map[ast.Node]bool
+}
+
+// atomicAddrFuncs are the sync/atomic functions whose first argument is the
+// address of the accessed word.
+var atomicAddrFuncs = map[string]bool{
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true,
+	"AddUintptr": true,
+	"SwapInt32":  true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true,
+	"CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func (c *checker) collect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		name, ok := c.atomicCall(n)
+		if !ok || len(n.Args) == 0 {
+			return true
+		}
+		arg := ast.Unparen(n.Args[0])
+		addr, ok := arg.(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return true
+		}
+		if obj := c.target(addr.X); obj != nil {
+			c.inAtomic[addr.X] = true
+			c.record(obj, access{pos: n.Pos(), kind: "atomic", desc: "atomic." + name})
+		}
+
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if obj := c.target(lhs); obj != nil {
+				c.record(obj, access{pos: lhs.Pos(), kind: "write"})
+			}
+		}
+
+	case *ast.IncDecStmt:
+		if obj := c.target(n.X); obj != nil {
+			c.record(obj, access{pos: n.X.Pos(), kind: "write"})
+		}
+
+	case *ast.SelectorExpr:
+		if c.inAtomic[n] {
+			return false
+		}
+		if obj := c.target(n); obj != nil && !c.isWriteContext(n, obj) {
+			c.record(obj, access{pos: n.Pos(), kind: "read"})
+		}
+
+	case *ast.Ident:
+		if c.inAtomic[n] {
+			return false
+		}
+		if obj := c.target(n); obj != nil && !c.isWriteContext(n, obj) {
+			c.record(obj, access{pos: n.Pos(), kind: "read"})
+		}
+	}
+	return true
+}
+
+// isWriteContext is handled by recording writes from AssignStmt/IncDecStmt
+// directly (parents are visited before children): an expression seen on
+// its own is a read unless already recorded as a write at this position.
+func (c *checker) isWriteContext(e ast.Expr, obj types.Object) bool {
+	for _, a := range c.accesses[obj] {
+		if a.pos == e.Pos() && a.kind == "write" {
+			return true
+		}
+	}
+	return false
+}
+
+// atomicCall reports whether the call invokes a sync/atomic address-taking
+// function, returning its name.
+func (c *checker) atomicCall(call *ast.CallExpr) (string, bool) {
+	fn := framework.StaticCallee(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return fn.Name(), atomicAddrFuncs[fn.Name()]
+}
+
+// target resolves an lvalue expression to the tracked object: a struct
+// field selection or a package-level variable. Locals are skipped — a
+// goroutine-local word needs no atomicity — as are selections through
+// method calls.
+func (c *checker) target(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := c.pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		return sel.Obj()
+	case *ast.Ident:
+		obj, ok := c.pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return nil
+		}
+		// Track package-level vars only.
+		if obj.Parent() != obj.Pkg().Scope() {
+			return nil
+		}
+		return obj
+	}
+	return nil
+}
+
+func (c *checker) record(obj types.Object, a access) {
+	c.accesses[obj] = append(c.accesses[obj], a)
+}
+
+func (c *checker) report() {
+	// Deterministic order: objects sorted by declaration position.
+	objs := make([]types.Object, 0, len(c.accesses))
+	for obj := range c.accesses {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		accs := c.accesses[obj]
+		var atomicUse *access
+		for i := range accs {
+			if accs[i].kind == "atomic" {
+				atomicUse = &accs[i]
+				break
+			}
+		}
+		if atomicUse == nil {
+			continue
+		}
+		atomicPos := c.pass.Fset.Position(atomicUse.pos)
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		for _, a := range accs {
+			if a.kind == "atomic" {
+				continue
+			}
+			verb := "read"
+			if a.kind == "write" {
+				verb = "written"
+			}
+			c.pass.Reportf(a.pos,
+				"%s is accessed atomically (%s at %s:%d) but %s plainly here; every access to an atomic word must go through sync/atomic",
+				obj.Name(), atomicUse.desc, shortFile(atomicPos.Filename), atomicPos.Line, verb)
+		}
+	}
+}
+
+func shortFile(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

@@ -1,0 +1,11 @@
+package atomicpair
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "atomicpairdata")
+}

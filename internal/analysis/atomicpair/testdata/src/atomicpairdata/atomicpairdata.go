@@ -1,0 +1,57 @@
+// Package atomicpairdata seeds mixed atomic/plain accesses.
+package atomicpairdata
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	drops int64
+	plain int64
+	boxed atomic.Int64
+}
+
+var global uint32
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1) // ok: atomic access
+}
+
+func (c *counter) readPlain() int64 {
+	return c.hits // want `hits is accessed atomically \(atomic\.AddInt64 at atomicpairdata\.go:16\) but read plainly here`
+}
+
+func (c *counter) writePlain() {
+	c.hits = 0 // want `hits is accessed atomically \(atomic\.AddInt64 at atomicpairdata\.go:16\) but written plainly here`
+}
+
+func (c *counter) incPlain() {
+	c.drops++ // want `drops is accessed atomically \(atomic\.LoadInt64 at atomicpairdata\.go:32\) but written plainly here`
+}
+
+func (c *counter) loadDrops() int64 {
+	return atomic.LoadInt64(&c.drops) // ok: atomic access
+}
+
+func (c *counter) purePlain() int64 {
+	c.plain++      // ok: never accessed atomically
+	return c.plain // ok
+}
+
+func (c *counter) wrapper() int64 {
+	c.boxed.Store(1)      // ok: atomic.Int64 has no plain access path
+	return c.boxed.Load() // ok
+}
+
+func setGlobal() {
+	atomic.StoreUint32(&global, 1) // ok: atomic access
+}
+
+func getGlobal() uint32 {
+	return global // want `global is accessed atomically \(atomic\.StoreUint32 at atomicpairdata\.go:46\) but read plainly here`
+}
+
+func localOK() int64 {
+	var n int64
+	atomic.AddInt64(&n, 1) // ok: locals are not tracked
+	return n               // ok
+}

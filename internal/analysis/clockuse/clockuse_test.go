@@ -1,0 +1,11 @@
+package clockuse
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestClockUse(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "clockusedata")
+}

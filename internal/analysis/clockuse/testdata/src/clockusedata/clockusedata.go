@@ -1,0 +1,64 @@
+// Package clockusedata seeds wall-clock reads on and off noalloc paths.
+package clockusedata
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+type conn interface {
+	Write(p []byte) (int, error)
+	SetWriteDeadline(t time.Time) error
+}
+
+type clock struct {
+	nanos atomic.Int64
+}
+
+type shard struct {
+	clk  clock
+	c    conn
+	last int64
+}
+
+// step is the per-tick hot path.
+//
+//smoothvet:noalloc
+func (sh *shard) step(now int64) {
+	t := time.Now() // want `time\.Now reads the wall clock on a //smoothvet:noalloc path`
+	_ = t
+	sh.last = now
+	sh.helper()
+	sh.cold()
+}
+
+// helper is unmarked but reachable from step.
+func (sh *shard) helper() {
+	d := time.Since(time.Unix(0, sh.clk.nanos.Load())) // want `time\.Since reads the wall clock on a //smoothvet:noalloc path \(reachable from step\)`
+	_ = d
+	_ = sh.c.SetWriteDeadline(time.Now().Add(time.Second)) // want `per-write SetWriteDeadline re-arm from time\.Now on a //smoothvet:noalloc path \(reachable from step\)`
+}
+
+// cold reads only the shard clock: allowed.
+func (sh *shard) cold() {
+	nanos := sh.clk.nanos.Load()
+	deadline := time.Unix(0, nanos).Add(time.Second) // ok: conversion, not a clock read
+	_ = sh.c.SetWriteDeadline(deadline)              // ok: armed from the shard clock
+}
+
+// offPath is not reachable from any noalloc root.
+func (sh *shard) offPath() time.Duration {
+	return time.Since(time.Unix(0, sh.last)) // ok: cold path
+}
+
+// loop exercises reachability through a loop body and a closure.
+//
+//smoothvet:noalloc
+func (sh *shard) loop(n int) {
+	for i := 0; i < n; i++ {
+		f := func() {
+			_ = time.Now() // want `time\.Now reads the wall clock on a //smoothvet:noalloc path`
+		}
+		f()
+	}
+}

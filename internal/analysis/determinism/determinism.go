@@ -48,35 +48,37 @@ var Analyzer = &framework.Analyzer{
 
 func run(pass *framework.Pass) error {
 	markers := pass.ParseMarkers()
-	inScope := false
-	for _, s := range Scope {
-		if strings.HasSuffix(pass.Pkg.Path(), s) {
-			inScope = true
-			break
-		}
-	}
-	marked := make(map[*ast.FuncDecl]bool)
+	inScope := pass.InScope(Scope)
+	roots := make(map[*ast.FuncDecl]string)
 	for _, fd := range markers.FuncDecls(framework.MarkerDeterministic) {
-		marked[fd] = true
+		roots[fd] = framework.MarkerDeterministic
 	}
+	// The strict checks extend through the package call graph: a helper a
+	// deterministic function calls is on the deterministic path whether or
+	// not it carries its own marker.
+	reach := pass.BuildCallGraph().ReachableFrom(roots)
 	for _, f := range pass.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			strict := marked[fd]
+			how, strict := reach[fd]
 			if !strict && !inScope {
 				continue
 			}
-			checkFunc(pass, fd, strict)
+			checkFunc(pass, fd, strict, how)
 		}
 	}
 	return nil
 }
 
-func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, strict bool) {
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, strict bool, how framework.Reach) {
 	markers := pass.ParseMarkers()
+	suffix := ""
+	if strict && how.Root != fd {
+		suffix = " (reachable from " + how.Root.Name.Name + ")"
+	}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.RangeStmt:
@@ -91,14 +93,14 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, strict bool) {
 			if name, ok := stdlibCall(pass, n, "time"); ok {
 				switch name {
 				case "Now", "Since", "Until", "After", "Tick", "NewTicker", "NewTimer", "AfterFunc":
-					pass.Reportf(n.Pos(), "time.%s reads the wall clock in a //smoothvet:deterministic function", name)
+					pass.Reportf(n.Pos(), "time.%s reads the wall clock in a //smoothvet:deterministic function%s", name, suffix)
 				}
 			}
 			if name, ok := stdlibCall(pass, n, "math/rand"); ok && !strings.HasPrefix(name, "New") {
-				pass.Reportf(n.Pos(), "global math/rand.%s in a //smoothvet:deterministic function; use a seeded *rand.Rand", name)
+				pass.Reportf(n.Pos(), "global math/rand.%s in a //smoothvet:deterministic function%s; use a seeded *rand.Rand", name, suffix)
 			}
 			if name, ok := stdlibCall(pass, n, "math/rand/v2"); ok && !strings.HasPrefix(name, "New") {
-				pass.Reportf(n.Pos(), "global math/rand/v2.%s in a //smoothvet:deterministic function; use a seeded generator", name)
+				pass.Reportf(n.Pos(), "global math/rand/v2.%s in a //smoothvet:deterministic function%s; use a seeded generator", name, suffix)
 			}
 		case *ast.GoStmt:
 			if !strict {
@@ -122,7 +124,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, strict bool) {
 				}
 			}
 			if comm > 1 || hasDefault {
-				pass.Reportf(n.Select, "select outcome depends on goroutine scheduling in a //smoothvet:deterministic function")
+				pass.Reportf(n.Select, "select outcome depends on goroutine scheduling in a //smoothvet:deterministic function%s", suffix)
 			}
 		}
 		return true

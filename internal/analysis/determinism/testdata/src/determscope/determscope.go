@@ -82,3 +82,26 @@ func wallClockHelpers() time.Duration {
 	t0 := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC) // ok: pure construction
 	return time.Since(t0)                             // want `time\.Since reads the wall clock`
 }
+
+// root is deterministic; the strict rules extend through the call graph to
+// the unmarked helpers it calls, and the diagnostic names the root.
+//
+//smoothvet:deterministic
+func root(points []int) int {
+	return jitter() + len(points)
+}
+
+// jitter is unmarked but reachable from root, so the strict checks apply.
+func jitter() int {
+	x := rand.Intn(3)                 // want `global math/rand\.Intn in a //smoothvet:deterministic function \(reachable from root\)`
+	if time.Now().UnixNano()&1 == 0 { // want `time\.Now reads the wall clock in a //smoothvet:deterministic function \(reachable from root\)`
+		x++
+	}
+	return x
+}
+
+// offPath is not reachable from any deterministic root: only the map-range
+// rule (this package is in Scope) applies, so the clock read is accepted.
+func offPath() int64 {
+	return time.Now().Unix() // ok: not on a deterministic path
+}

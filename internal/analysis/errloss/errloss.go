@@ -38,14 +38,7 @@ var Analyzer = &framework.Analyzer{
 }
 
 func run(pass *framework.Pass) error {
-	inScope := false
-	for _, s := range Scope {
-		if strings.HasSuffix(pass.Pkg.Path(), s) {
-			inScope = true
-			break
-		}
-	}
-	if !inScope {
+	if !pass.InScope(Scope) {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -55,7 +48,16 @@ func run(pass *framework.Pass) error {
 				continue
 			}
 			checkDroppedErrors(pass, fd)
-			checkWriteDeadlines(pass, fd)
+			checkWriteDeadlines(pass, fd.Body)
+			// Function literals get their own flow problem: a deadline
+			// armed in the enclosing function does not excuse a write in a
+			// closure that may run on another goroutine or much later.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkWriteDeadlines(pass, lit.Body)
+				}
+				return true
+			})
 		}
 	}
 	return nil
@@ -128,44 +130,53 @@ func calleeName(pass *framework.Pass, call *ast.CallExpr) string {
 }
 
 // checkWriteDeadlines flags recv.Write(...) calls on deadline-capable
-// receivers with no earlier recv.SetWriteDeadline(...) in the function.
-func checkWriteDeadlines(pass *framework.Pass, fd *ast.FuncDecl) {
-	// First collect the receivers that arm a deadline, keyed by their
-	// printed expression, with the earliest arming position.
-	armed := make(map[string]ast.Node)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// receivers that no path from the function entry arms with
+// recv.SetWriteDeadline(...) first. Arming is tracked flow-sensitively
+// over the framework CFG with may-reach semantics: an arm on some path to
+// the write suffices (the deadlineWriter pattern arms conditionally, once
+// per tick), but an arm the control flow cannot carry to the write — on a
+// returning branch, or later in source — no longer does, which is the
+// false-negative gap the old position-based check had.
+func checkWriteDeadlines(pass *framework.Pass, body *ast.BlockStmt) {
+	cfg := framework.NewCFG(body)
+	framework.RunFlow(cfg, framework.Facts{}, func(n ast.Node, facts framework.Facts, report bool) {
+		eachCall(n, func(call *ast.CallExpr) {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			key := "arm:" + types.ExprString(ast.Unparen(sel.X))
+			switch sel.Sel.Name {
+			case "SetWriteDeadline":
+				facts[key] = "armed"
+			case "Write":
+				recvT := pass.TypesInfo.TypeOf(sel.X)
+				if recvT == nil || !hasSetWriteDeadline(recvT) {
+					return
+				}
+				if _, armed := facts[key]; !armed && report {
+					pass.Reportf(call.Pos(),
+						"write to %s without arming SetWriteDeadline first; a stalled peer blocks this goroutine forever",
+						types.ExprString(ast.Unparen(sel.X)))
+				}
+			}
+		})
+	}, nil)
+}
+
+// eachCall visits the call expressions inside one CFG node in syntactic
+// order, skipping nested function literals (analyzed separately).
+func eachCall(n ast.Node, fn func(*ast.CallExpr)) {
+	if rh, ok := n.(*framework.RangeHead); ok {
+		n = rh.Range.X
+	}
+	ast.Inspect(n, func(inner ast.Node) bool {
+		if _, ok := inner.(*ast.FuncLit); ok {
+			return false
 		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "SetWriteDeadline" {
-			return true
+		if call, ok := inner.(*ast.CallExpr); ok {
+			fn(call)
 		}
-		key := types.ExprString(ast.Unparen(sel.X))
-		if prev, ok := armed[key]; !ok || call.Pos() < prev.Pos() {
-			armed[key] = call
-		}
-		return true
-	})
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Write" {
-			return true
-		}
-		recvT := pass.TypesInfo.TypeOf(sel.X)
-		if recvT == nil || !hasSetWriteDeadline(recvT) {
-			return true
-		}
-		key := types.ExprString(ast.Unparen(sel.X))
-		if arm, ok := armed[key]; ok && arm.Pos() < call.Pos() {
-			return true
-		}
-		pass.Reportf(call.Pos(), "write to %s without arming SetWriteDeadline first; a stalled peer blocks this goroutine forever", key)
 		return true
 	})
 }

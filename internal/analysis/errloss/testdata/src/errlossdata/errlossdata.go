@@ -43,3 +43,53 @@ func plainOK(w plainWriter, p []byte) error {
 	_, err := w.Write(p) // ok: not deadline-capable
 	return err
 }
+
+// armOnDeadBranch: the arm sits on a branch that returns, so no path
+// carries it to the write (the old position-based check missed this).
+func armOnDeadBranch(c conn, p []byte, bail bool) error {
+	if bail {
+		if err := c.SetWriteDeadline(time.Time{}.Add(time.Second)); err != nil {
+			return err
+		}
+		return nil
+	}
+	_, err := c.Write(p) // want `write to c without arming SetWriteDeadline`
+	return err
+}
+
+// armMayReach: an arm on one path into the write suffices (the
+// deadlineWriter arms conditionally, once per tick).
+func armMayReach(c conn, p []byte, stale bool) error {
+	if stale {
+		if err := c.SetWriteDeadline(time.Time{}.Add(time.Second)); err != nil {
+			return err
+		}
+	}
+	_, err := c.Write(p) // ok: armed on the stale path, may-reach
+	return err
+}
+
+// armInLoop: arming on a previous iteration reaches later writes through
+// the loop back edge.
+func armInLoop(c conn, chunks [][]byte) error {
+	for i, chunk := range chunks {
+		if i == 0 {
+			if err := c.SetWriteDeadline(time.Time{}.Add(time.Second)); err != nil {
+				return err
+			}
+		}
+		if _, err := c.Write(chunk); err != nil { // ok: armed before first write, carried by the back edge
+			return err
+		}
+	}
+	return nil
+}
+
+// closureNeedsOwnArm: a deadline armed outside does not excuse a write
+// inside a function literal, which may run later or elsewhere.
+func closureNeedsOwnArm(c conn, p []byte) func() {
+	_ = c.SetWriteDeadline(time.Time{}.Add(time.Second))
+	return func() {
+		_, _ = c.Write(p) // want `write to c without arming SetWriteDeadline`
+	}
+}

@@ -1,0 +1,345 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is a per-function control-flow graph over the parsed AST: the
+// flow-sensitive substrate the smoothvet analyzers run their dataflow on.
+// It deliberately stays lightweight — basic blocks hold the original
+// ast.Node statements and condition expressions, in execution order, and
+// nested control flow is *not* repeated inside a block's nodes (an if
+// statement contributes its Init and Cond to the head block; its branches
+// become separate blocks). Transfer functions may therefore inspect each
+// block node fully without double-visiting a nested body.
+//
+// Supported control flow: if/else, for (all three clauses), range, switch
+// and type switch (with fallthrough), select, labeled break/continue,
+// return, and panic-free straight-line code. goto is treated as
+// terminating the current path (no edge is added): the repository style
+// forbids goto on analyzed paths, and under-approximating its successors
+// can only suppress diagnostics on code that uses it, never invent them.
+type CFG struct {
+	// Entry is the block control enters at. It is Blocks[0].
+	Entry *Block
+	// Blocks lists every block, in creation (roughly source) order.
+	Blocks []*Block
+}
+
+// Block is one straight-line run of nodes with a common set of successors.
+type Block struct {
+	Index int
+	// Nodes holds statements and head expressions in execution order.
+	// Composite statements never appear here — only their evaluated parts
+	// (an if's Init/Cond, a switch's Init/Tag, a RangeHead, …), so
+	// inspecting a node never re-walks a nested body.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// RangeHead marks the loop-head evaluation of a range statement: the
+// ranged expression and the per-iteration key/value binding, without the
+// body (which occupies its own blocks). Analyzer transfer functions
+// type-switch on *RangeHead to model the binding; Pos/End cover the
+// clause up to the ranged expression.
+type RangeHead struct {
+	Range *ast.RangeStmt
+}
+
+// Pos implements ast.Node.
+func (h *RangeHead) Pos() token.Pos { return h.Range.For }
+
+// End implements ast.Node.
+func (h *RangeHead) End() token.Pos { return h.Range.X.End() }
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cur = b.newBlock()
+	b.cfg.Entry = b.cur
+	b.stmts(body.List)
+	b.link()
+	return b.cfg
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a terminator
+	// (return, break, …) until the next label or join point revives flow.
+	cur    *Block
+	frames []loopFrame
+	// pendingLabel names the label attached to the next loop/switch.
+	pendingLabel string
+	// fallthroughTo is the next case clause while building a switch body.
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge records from→to (nil-safe: unreachable sources add nothing).
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// link back-fills predecessor lists once all edges exist.
+func (b *cfgBuilder) link() {
+	for _, blk := range b.cfg.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+}
+
+// add appends a node to the current block (dropped when unreachable).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// frame helpers: find the innermost frame, or the one carrying label.
+func (b *cfgBuilder) frameFor(label string, needContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so a labeled loop's break/continue targets
+		// resolve, then build the labeled statement with the label pending.
+		lb := b.newBlock()
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.frameFor(label, false); f != nil {
+				b.edge(b.cur, f.breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if f := b.frameFor(label, true); f != nil {
+				b.edge(b.cur, f.continueTo)
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			b.edge(b.cur, b.fallthroughTo)
+			b.cur = nil
+		case token.GOTO:
+			// Unsupported: treat as terminating (see the type comment).
+			b.cur = nil
+		}
+
+	case *ast.IfStmt:
+		b.takeLabel() // labels on if are only goto targets; ignore
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmts(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		join := b.newBlock()
+		// continue runs Post (when present) before re-testing the head.
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+		}
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: join, continueTo: post})
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, post)
+		b.frames = b.frames[:len(b.frames)-1]
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, &RangeHead{Range: s})
+		join := b.newBlock()
+		b.edge(head, join) // the range may be empty
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: join, continueTo: head})
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitchBody(label, s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.buildSwitchBody(label, s.Body, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		join := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(head, cb)
+			b.cur = cb
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmts(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(s.Body.List) == 0 {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	default:
+		// Simple statements: expression, assignment, declaration, inc/dec,
+		// send, go, defer, empty. One node, straight-line flow.
+		b.add(s)
+	}
+}
+
+// buildSwitchBody shares the clause scaffolding of switch and type switch.
+// assign is the type switch's `x := y.(type)` statement, evaluated at the
+// head of every clause (each clause binds its own typed x).
+func (b *cfgBuilder) buildSwitchBody(label string, body *ast.BlockStmt, assign ast.Stmt) {
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: join})
+	clauses := make([]*Block, len(body.List))
+	for i := range body.List {
+		clauses[i] = b.newBlock()
+		b.edge(head, clauses[i])
+	}
+	hasDefault := false
+	savedFall := b.fallthroughTo
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.cur = clauses[i]
+		if assign != nil {
+			b.add(assign)
+		}
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(clauses) {
+			b.fallthroughTo = clauses[i+1]
+		} else {
+			b.fallthroughTo = join
+		}
+		b.stmts(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.fallthroughTo = savedFall
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}

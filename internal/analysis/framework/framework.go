@@ -14,6 +14,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Analyzer describes one static check.
@@ -41,6 +42,24 @@ type Pass struct {
 
 	// markers caches ParseMarkers results for the pass (built lazily).
 	markers *Markers
+	// callgraph caches BuildCallGraph results for the pass (built lazily).
+	callgraph *CallGraph
+}
+
+// InScope reports whether the pass's package falls under one of the given
+// import-path suffixes. The external test package of an in-scope package
+// ("<path>_test", or "<path>.test" under the vet driver) is in scope too —
+// tests must honor the same contracts as the code they exercise.
+func (p *Pass) InScope(suffixes []string) bool {
+	path := p.Pkg.Path()
+	path = strings.TrimSuffix(path, "_test")
+	path = strings.TrimSuffix(path, ".test")
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
 }
 
 // Diagnostic is one finding at a source position.

@@ -21,6 +21,11 @@
 // Deliberately not flagged (amortized or allocation-free): map reads,
 // map writes and deletes on retained maps, struct composite values, and
 // slicing.
+//
+// Unmarked functions a noalloc root reaches through the package call
+// graph get a reduced rule set — only func literals and go statements,
+// the unconditional allocators — so hot helpers cannot hide a closure
+// behind a missing marker while their error branches stay quiet.
 package hotpath
 
 import (
@@ -40,12 +45,52 @@ var Analyzer = &framework.Analyzer{
 
 func run(pass *framework.Pass) error {
 	markers := pass.ParseMarkers()
+	marked := make(map[*ast.FuncDecl]bool)
+	roots := make(map[*ast.FuncDecl]string)
 	for _, fd := range markers.FuncDecls(framework.MarkerNoAlloc) {
+		marked[fd] = true
+		roots[fd] = framework.MarkerNoAlloc
 		if fd.Body != nil {
 			check(pass, fd)
 		}
 	}
+	// Unmarked helpers reachable from a noalloc root are on the hot path
+	// too. The full rule set would drown their error branches in noise, so
+	// only the unconditional allocators — closures and goroutine spawns —
+	// are flagged there; the rest of the contract asks for an explicit
+	// marker on the helper.
+	reach := pass.BuildCallGraph().ReachableFrom(roots)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || marked[fd] {
+				continue
+			}
+			how, ok := reach[fd]
+			if !ok {
+				continue
+			}
+			checkReachable(pass, fd, how.Root)
+		}
+	}
 	return nil
+}
+
+// checkReachable flags closure and goroutine allocation in an unmarked
+// function that a //smoothvet:noalloc root reaches through the package
+// call graph.
+func checkReachable(pass *framework.Pass, fd, root *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "func literal allocates a closure on a //smoothvet:noalloc path (reachable from %s)", root.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine on a //smoothvet:noalloc path (reachable from %s)", root.Name.Name)
+			return false
+		}
+		return true
+	})
 }
 
 // checker walks one noalloc function keeping the ancestor context needed

@@ -75,3 +75,25 @@ func bad(b *buf, xs []int, s string) {
 func unmarked() []int {
 	return []int{1, 2, 3} // ok: not a noalloc function
 }
+
+// hot reaches helper through the call graph: helper's closures and
+// goroutine spawns are on the hot path even without its own marker.
+//
+//smoothvet:noalloc
+func hot(n int) int {
+	return helper(n)
+}
+
+// helper is unmarked but reachable from hot; only the unconditional
+// allocators are flagged here.
+func helper(n int) int {
+	f := func() int { return n } // want `func literal allocates a closure on a //smoothvet:noalloc path \(reachable from hot\)`
+	go work()                    // want `go statement allocates a goroutine on a //smoothvet:noalloc path \(reachable from hot\)`
+	m := make([]int, n)          // ok: reachable-but-unmarked functions get only the closure/go rules
+	return f() + len(m)
+}
+
+// coldHelper is not reachable from any noalloc root: closures are fine.
+func coldHelper() func() {
+	return func() {} // ok: off the hot path
+}

@@ -1,0 +1,11 @@
+package pubimmut
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPubImmut(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "pubimmutdata")
+}

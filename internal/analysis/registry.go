@@ -5,18 +5,26 @@ package analysis
 
 import (
 	"repro/internal/analysis/aliasretain"
+	"repro/internal/analysis/atomicpair"
+	"repro/internal/analysis/clockuse"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/errloss"
 	"repro/internal/analysis/framework"
 	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/pubimmut"
+	"repro/internal/analysis/shardconfine"
 )
 
 // All returns every smoothvet analyzer, in stable order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		aliasretain.Analyzer,
+		atomicpair.Analyzer,
+		clockuse.Analyzer,
 		determinism.Analyzer,
 		errloss.Analyzer,
 		hotpath.Analyzer,
+		pubimmut.Analyzer,
+		shardconfine.Analyzer,
 	}
 }

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// infraDirs are the subpackages of internal/analysis that are not
+// analyzers and therefore have no registry entry.
+var infraDirs = map[string]bool{
+	"framework":    true,
+	"unitcheck":    true,
+	"analysistest": true,
+}
+
+// TestEveryAnalyzerRegistered catches the add-an-analyzer-forget-to-wire-it
+// failure mode: every analyzer subpackage must appear in All(), named after
+// its directory, with non-empty documentation, and All() must stay sorted
+// so the suite's order (and the -V content hash downstream) is stable.
+func TestEveryAnalyzerRegistered(t *testing.T) {
+	registered := make(map[string]bool)
+	var prev string
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Name, Doc or Run", a.Name)
+		}
+		if prev != "" && a.Name <= prev {
+			t.Errorf("All() not sorted: %q follows %q", a.Name, prev)
+		}
+		prev = a.Name
+		registered[a.Name] = true
+	}
+
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if !e.IsDir() || infraDirs[e.Name()] || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		dirs = append(dirs, e.Name())
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no analyzer subpackages found; wrong working directory?")
+	}
+	for _, dir := range dirs {
+		if !registered[dir] {
+			t.Errorf("subpackage %q is not registered in All() (or its Analyzer.Name differs from the directory name)", dir)
+		}
+		delete(registered, dir)
+	}
+	for name := range registered {
+		t.Errorf("registered analyzer %q has no subpackage directory", name)
+	}
+}

@@ -1,0 +1,11 @@
+package shardconfine
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestShardConfine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), Analyzer, "shardconfinedata")
+}

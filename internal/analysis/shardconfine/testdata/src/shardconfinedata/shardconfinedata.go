@@ -1,0 +1,136 @@
+// Package shardconfinedata seeds confinement violations around a marked
+// shard type, next to the sanctioned ownership idioms.
+package shardconfinedata
+
+import "sync"
+
+// shard is goroutine-confined: one reactor goroutine owns each instance.
+//
+//smoothvet:confined
+type shard struct {
+	mu       sync.Mutex //smoothvet:shared
+	incoming chan int   //smoothvet:shared
+	draining bool
+	sessions []int
+	count    int
+}
+
+type engine struct {
+	shards []*shard
+}
+
+// newEngine constructs shards and hands each to its goroutine.
+func newEngine(n int) *engine {
+	e := &engine{}
+	for i := 0; i < n; i++ {
+		sh := &shard{incoming: make(chan int)}
+		sh.sessions = make([]int, 0, 8) // ok: fresh value, construction
+		//smoothvet:transfer
+		go sh.run()
+		e.shards = append(e.shards, sh)
+	}
+	return e
+}
+
+func (e *engine) launchUnmarked() {
+	sh := &shard{}
+	go sh.run() // want `go sh\.run hands the confined receiver to a new goroutine without //smoothvet:transfer`
+}
+
+// run owns its receiver.
+func (sh *shard) run() {
+	sh.count++         // ok: receiver is owned
+	sh.draining = true // ok
+}
+
+// crossStore writes another shard's state: the classic violation.
+func (e *engine) crossStore(i int) {
+	e.shards[i].draining = true // want `store to field draining of confined \*shard through a foreign reference`
+	sh := e.shards[i]
+	sh.count++ // want `store to field count of confined \*shard through a foreign reference`
+	sh.mu.Lock()
+	sh.sessions = nil // want `store to field sessions of confined \*shard through a foreign reference`
+	sh.mu.Unlock()
+}
+
+// sharedFieldOK: cross-goroutine traffic through marked fields is fine.
+func (e *engine) sharedFieldOK(i int, v int) {
+	sh := e.shards[i]
+	sh.incoming <- v // ok: shared channel field
+	sh.mu.Lock()     // ok: shared mutex field
+	sh.mu.Unlock()
+}
+
+// flowJoin: a reference that is foreign on one path is foreign at the join.
+func (e *engine) flowJoin(mine *shard, steal bool) {
+	sh := mine
+	if steal {
+		sh = e.shards[0]
+	}
+	sh.count++ // want `store to field count of confined \*shard through a foreign reference`
+}
+
+// loopFlow: the foreign binding flows around the loop back edge.
+func (e *engine) loopFlow() {
+	var sh *shard
+	for i := 0; i < 4; i++ {
+		if sh != nil {
+			sh.count++ // want `store to field count of confined \*shard through a foreign reference`
+		}
+		sh = e.shards[i]
+	}
+}
+
+// rangeForeign: ranging over a shared slice yields foreign references.
+func (e *engine) rangeForeign() {
+	for _, sh := range e.shards {
+		sh.draining = true // want `store to field draining of confined \*shard through a foreign reference`
+	}
+}
+
+// rangeOwned: ranging over a locally built slice keeps ownership.
+func rangeOwned(n int) []*shard {
+	shards := make([]*shard, 0, n)
+	for i := 0; i < n; i++ {
+		shards = append(shards, &shard{})
+	}
+	for _, sh := range shards {
+		sh.count = i0() // ok: owned via local slice
+	}
+	return shards
+}
+
+func i0() int { return 0 }
+
+// closureCapture: goroutine closures must not capture confined values.
+func (sh *shard) closureCapture() {
+	go func() { // want `goroutine closure captures confined value sh without //smoothvet:transfer`
+		sh.count++
+	}()
+}
+
+// sendUnmarked: confined values cross channels only with a transfer marker.
+func sendUnmarked(ch chan *shard, sh *shard) {
+	ch <- sh // want `send of confined \*shard over a channel without //smoothvet:transfer`
+}
+
+func sendMarked(ch chan *shard, sh *shard) {
+	ch <- sh //smoothvet:transfer
+}
+
+// afterHandoff: the sender must not touch the value past the hand-off.
+func afterHandoff(ch chan *shard) {
+	sh := &shard{}
+	sh.count = 1 // ok: still owned
+	ch <- sh     //smoothvet:transfer
+	sh.count = 2 // want `store to field count of confined \*shard through a foreign reference`
+}
+
+// receiveOwns: the receiving goroutine owns what it takes off the channel.
+func receiveOwns(ch chan *shard) {
+	sh := <-ch
+	sh.count++ // ok: transferred in
+	for got := range ch {
+		got.draining = true // ok: transferred in
+	}
+}

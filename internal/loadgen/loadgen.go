@@ -215,6 +215,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	for _, sh := range e.shards {
 		e.loopWG.Add(1)
+		//smoothvet:transfer ownership of the shard moves to its reactor goroutine
 		go sh.run()
 	}
 	return e, nil

@@ -104,11 +104,11 @@ func (sh *shard) drainFd(s *session, now int64) {
 		if n > 0 {
 			s.lastData = now
 			if ferr := sh.feed(s, sh.scratch[:n], now); ferr != nil {
-				sh.retire(s, StageMidStream, ferr)
+				sh.retire(s, StageMidStream, ferr, now)
 				return
 			}
 			if s.ended {
-				sh.retire(s, "", nil)
+				sh.retire(s, "", nil, now)
 				return
 			}
 			if n < len(sh.scratch) {
@@ -118,7 +118,7 @@ func (sh *shard) drainFd(s *session, now int64) {
 		}
 		if err == nil {
 			// EOF before End: the peer hung up mid-stream.
-			sh.retire(s, StageMidStream, io.ErrUnexpectedEOF)
+			sh.retire(s, StageMidStream, io.ErrUnexpectedEOF, now)
 			return
 		}
 		if en, ok := err.(syscall.Errno); ok {
@@ -129,7 +129,7 @@ func (sh *shard) drainFd(s *session, now int64) {
 				continue
 			}
 		}
-		sh.retire(s, StageMidStream, err)
+		sh.retire(s, StageMidStream, err, now)
 		return
 	}
 }
@@ -156,7 +156,7 @@ func (sh *shard) scanIdle(now int64) {
 		if now-s.lastData > limit {
 			// The swap-remove moves another session into idleCur; it is
 			// re-examined on a later pass.
-			sh.retire(s, StageMidStream, errIdleTimeout)
+			sh.retire(s, StageMidStream, errIdleTimeout, now)
 			continue
 		}
 		sh.idleCur++
@@ -166,15 +166,16 @@ func (sh *shard) scanIdle(now int64) {
 // shutdown aborts every live and queued session and releases the epoll
 // set. Runs once, on the shard goroutine, after Engine.Close.
 func (sh *shard) shutdown() {
+	now := sh.eng.monotonic()
 	for len(sh.sessions) > 0 {
-		sh.retire(sh.sessions[len(sh.sessions)-1], StageMidStream, errEngineClosed)
+		sh.retire(sh.sessions[len(sh.sessions)-1], StageMidStream, errEngineClosed, now)
 	}
 	sh.mu.Lock()
 	pend := sh.incoming
 	sh.incoming = nil
 	sh.mu.Unlock()
 	for _, s := range pend {
-		sh.retire(s, StageMidStream, errEngineClosed)
+		sh.retire(s, StageMidStream, errEngineClosed, now)
 	}
 	sh.poller.close()
 }

@@ -73,6 +73,8 @@ type tally struct {
 
 // shard owns a set of sessions and the reactor resources they share: one
 // poller, one scratch read buffer, one decoder, one lag histogram.
+//
+//smoothvet:confined owned by the reactor goroutine after Run hands it off
 type shard struct {
 	eng    *Engine
 	poller *poller
@@ -81,7 +83,9 @@ type shard struct {
 	br      bytes.Reader
 	dec     *netstream.Decoder
 
-	mu       sync.Mutex // guards incoming only
+	//smoothvet:shared guards incoming only
+	mu sync.Mutex
+	//smoothvet:shared appended under mu by enqueue, drained by admit
 	incoming []*session
 	spare    []*session
 
@@ -153,7 +157,7 @@ func (sh *shard) admit(now int64) {
 
 func (sh *shard) register(s *session, now int64) {
 	if err := sh.poller.add(s.fd); err != nil {
-		sh.retire(s, StageMidStream, err)
+		sh.retire(s, StageMidStream, err, now)
 		return
 	}
 	s.pos = len(sh.sessions)
@@ -177,8 +181,11 @@ func (sh *shard) lookupFd(fd int) *session {
 }
 
 // retire finishes a session: success when stage is "", else a mid-stream
-// failure. Runs on the shard goroutine.
-func (sh *shard) retire(s *session, stage string, err error) {
+// failure. Runs on the shard goroutine. now is the caller's wake stamp
+// (engine-monotonic nanos): retire sits downstream of the noalloc drain
+// path, so it derives Elapsed from the stamp instead of re-reading the
+// wall clock.
+func (sh *shard) retire(s *session, stage string, err error, now int64) {
 	if sh.poller != nil && s.fd >= 0 {
 		_ = sh.poller.del(s.fd)
 	}
@@ -226,7 +233,7 @@ func (sh *shard) retire(s *session, stage string, err error) {
 			LateBytes:  s.win.LateBytes(),
 			MaxBuffer:  s.win.MaxOccupancy(),
 			Digest:     s.digest,
-			Elapsed:    time.Since(s.start),
+			Elapsed:    sh.eng.base.Add(time.Duration(now)).Sub(s.start),
 		})
 	}
 	sh.eng.finishOne()

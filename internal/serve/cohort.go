@@ -34,6 +34,8 @@ type cohortKey struct {
 // every step's batched flush (the final step additionally carries the End
 // marker) plus the cumulative drop counts the fallback path would have
 // reported step by step.
+//
+//smoothvet:frozen immutable once published through the cohort cache
 type Cohort struct {
 	key cohortKey
 	// wire holds every step's encoded flush back to back; step i's bytes

@@ -33,7 +33,7 @@ func replayFallback(t *testing.T, eng *Engine, delay, buffer int) (wire []byte, 
 		}
 	}
 	steps, dropped = s.step, s.dropped
-	s.finish(nil)
+	s.finish(time.Now(), nil)
 	return buf.Bytes(), steps, dropped
 }
 

@@ -86,13 +86,16 @@ type SessionStats struct {
 
 // Engine serves one clip to many concurrent sessions over shard loops.
 type Engine struct {
-	cfg      Config
-	st       *stream.Stream
-	payloads [][]byte // per-slice synthesized payload, shared by all sessions
+	cfg Config
+	st  *stream.Stream
+	//smoothvet:frozen per-slice synthesized payload, shared by all sessions
+	payloads [][]byte
 	// stepOffers[t] is the ready-made offer slice for model step t —
 	// arrivals paired with their shared payloads — built once and read by
 	// every fallback session and cohort build instead of being rebuilt
 	// per session per tick.
+	//
+	//smoothvet:frozen
 	stepOffers [][]netstream.Offered
 	shards     []*shard
 	seed       maphash.Seed
@@ -114,6 +117,7 @@ func New(clip *trace.Clip, weights trace.WeightMap, cfg Config) (*Engine, error)
 	}
 	for _, sh := range e.shards {
 		e.loopWG.Add(1)
+		//smoothvet:transfer ownership of the shard moves to its loop goroutine
 		go sh.run()
 	}
 	return e, nil
@@ -368,13 +372,19 @@ type cohortRows struct {
 // shard owns a set of sessions and the single clock that steps them. Only
 // the registration queue is shared (guarded by mu); everything else runs on
 // the shard goroutine.
+//
+//smoothvet:confined owned by the shard loop goroutine after New hands it off
 type shard struct {
 	eng  *Engine
-	quit chan struct{}
-	clk  tickClock
+	quit chan struct{} //smoothvet:shared closed by Engine.Close to stop the loop
 
-	mu       sync.Mutex
+	clk tickClock
+
+	//smoothvet:shared registration queue, guarded by mu
+	mu sync.Mutex
+	//smoothvet:shared set under mu; checked by enqueue from acceptor goroutines
 	draining bool
+	//smoothvet:shared appended under mu by enqueue, drained by admit
 	incoming []admission
 
 	sessions []*session // fallback (bespoke-parameter) sessions
@@ -441,7 +451,7 @@ func (sh *shard) step(now time.Time) {
 	for _, s := range sh.sessions {
 		done, err := s.stepOnce()
 		if done || err != nil {
-			s.finish(err)
+			s.finish(now, err)
 		} else {
 			live = append(live, s)
 		}
@@ -487,7 +497,10 @@ func (sh *shard) stepRows() {
 }
 
 // retireRow finishes the cohort session in slot j (err nil = clean drain
-// to End) and swap-removes its row.
+// to End) and swap-removes its row. It sits on the noalloc tick path, so
+// Elapsed is derived from the shard's tick clock — stamped once per tick
+// (and once by shutdown) — instead of re-reading the wall clock per
+// retirement.
 func (sh *shard) retireRow(j int, cur int32, err error) {
 	rows := &sh.rows
 	cold := &rows.cold[j]
@@ -510,7 +523,7 @@ func (sh *shard) retireRow(j int, cur int32, err error) {
 			Remote:  cold.remote,
 			Steps:   steps,
 			Dropped: dropped,
-			Elapsed: time.Since(cold.start),
+			Elapsed: time.Unix(0, sh.clk.nanos.Load()).Sub(cold.start),
 		}, err)
 	}
 	n := len(rows.cursors) - 1
@@ -526,6 +539,10 @@ func (sh *shard) retireRow(j int, cur int32, err error) {
 
 // shutdown aborts every session still registered on the shard.
 func (sh *shard) shutdown() {
+	// Re-stamp the tick clock so retirements during drain report an
+	// Elapsed that covers the time since the last tick.
+	now := time.Now()
+	sh.clk.nanos.Store(now.UnixNano())
 	sh.mu.Lock()
 	sh.draining = true
 	inc := sh.incoming
@@ -541,7 +558,7 @@ func (sh *shard) shutdown() {
 		sh.rows.cold = append(sh.rows.cold, inc[i].row)
 	}
 	for _, s := range sh.sessions {
-		s.finish(errAborted)
+		s.finish(now, errAborted)
 	}
 	sh.sessions = nil
 	for len(sh.rows.cursors) > 0 {
@@ -592,8 +609,10 @@ func (s *session) stepOnce() (done bool, err error) {
 	return false, nil
 }
 
-// finish closes the session's connection and reports it done.
-func (s *session) finish(err error) {
+// finish closes the session's connection and reports it done. now is the
+// shard's tick timestamp: finish runs on the noalloc step path, so it
+// reuses the per-tick stamp rather than reading the wall clock itself.
+func (s *session) finish(now time.Time, err error) {
 	if s.conn != nil {
 		_ = s.conn.Close()
 	}
@@ -606,7 +625,7 @@ func (s *session) finish(err error) {
 			Remote:  s.remote,
 			Steps:   s.step,
 			Dropped: s.dropped,
-			Elapsed: time.Since(s.start),
+			Elapsed: now.Sub(s.start),
 		}, err)
 	}
 }

@@ -18,13 +18,31 @@ echo "== go vet"
 go vet ./...
 
 echo "== smoothvet"
-# Project-specific analyzers (aliasing, determinism, hot-path allocations,
-# error hygiene); see DESIGN.md "Enforced invariants".
+# Project-specific analyzers (aliasing, shard confinement, publication
+# immutability, determinism, clock discipline, atomic pairing, hot-path
+# allocations, error hygiene); see DESIGN.md "Enforced invariants". The
+# run is timed against a generous wall-clock budget: the flow-sensitive
+# engine must stay cheap enough to run on every push, and a quadratic
+# blow-up in the CFG or call-graph layer should fail loudly here, not
+# slowly rot CI.
 go build -o bin/smoothvet ./cmd/smoothvet
+smoothvet_start=$(date +%s)
 go vet -vettool=bin/smoothvet ./...
+smoothvet_elapsed=$(( $(date +%s) - smoothvet_start ))
+echo "smoothvet: ${smoothvet_elapsed}s"
+if [ "$smoothvet_elapsed" -gt 120 ]; then
+    echo "smoothvet took ${smoothvet_elapsed}s (budget 120s); profile the analyzers" >&2
+    exit 1
+fi
 
 echo "== go build"
 go build ./...
+
+echo "== go build (darwin)"
+# Cross-compile for a second GOOS: the loadgen reactor is split into
+# linux (epoll) and stub variants by build tags, and only a cross-build
+# catches a symbol that drifted out of the shared surface.
+GOOS=darwin go build ./...
 
 echo "== go test"
 go test ./...
