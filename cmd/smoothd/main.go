@@ -18,11 +18,16 @@
 //	        [-rate-factor F] [-step 40ms] [-policy greedy] [-once]
 //	        [-shards N] [-max-sessions N] [-drain 10s]
 //	        [-cohort-cache=false] [-max-cohorts N]
-//	        [-pprof localhost:6060]
+//	        [-debug localhost:6060] [-slo 0]
 //
-// With -pprof the server exposes net/http/pprof on the given address;
-// SIGUSR1 logs a one-line runtime snapshot (goroutines, heap, GC) at any
-// time, with or without -pprof.
+// With -debug the server exposes the diagnostic surface on the given
+// address: Prometheus-text /metrics, JSON /statusz, the flight-recorder
+// dump at /debug/flightrec, and net/http/pprof under /debug/pprof/.
+// SIGUSR1 dumps the unified diagnostic snapshot (runtime line, metrics,
+// flight recorder) to stderr at any time, with or without -debug. A
+// non-zero -slo arms the streaming SLO accountant on the windowed p99
+// shard-step duration: crossing the target increments slo_breaches and
+// dumps the flight recorder once per excursion.
 //
 // Pair it with cmd/smoothplay (interactive) or cmd/smoothload (load).
 package main
@@ -43,6 +48,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/drop"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -63,16 +69,10 @@ func main() {
 		drainWait   = flag.Duration("drain", 10*time.Second, "in-flight session drain budget on shutdown")
 		cohortCache = flag.Bool("cohort-cache", true, "serve same-parameter sessions from shared precomputed schedules")
 		maxCohorts  = flag.Int("max-cohorts", 0, "distinct (delay, buffer) plans to precompute (0 = default cap)")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		debugAddr   = flag.String("debug", "", "serve /metrics, /statusz, /debug/flightrec and /debug/pprof on this address (empty = off)")
+		sloTarget   = flag.Duration("slo", 0, "windowed p99 shard-step-duration target; breaches dump the flight recorder (0 = off)")
 	)
 	flag.Parse()
-
-	if *pprofAddr != "" {
-		if err := diag.Serve(*pprofAddr); err != nil {
-			log.Fatalf("smoothd: %v", err)
-		}
-	}
-	diag.SnapshotOnSIGUSR1()
 
 	if *streams < 1 {
 		log.Fatalf("smoothd: -streams must be >= 1")
@@ -129,6 +129,7 @@ func main() {
 			Policy:         factory,
 			DisableCohorts: !*cohortCache,
 			MaxCohorts:     *maxCohorts,
+			Instrument:     diag.RegisterRuntimeMetrics,
 			OnSessionDone: func(s serve.SessionStats, err error) {
 				if err != nil {
 					log.Printf("smoothd: session %s: %v", s.Remote, err)
@@ -143,6 +144,35 @@ func main() {
 			log.Fatalf("smoothd: %v", err)
 		}
 	}
+
+	// Diagnostic surface: the engine's registry when sharded, a
+	// runtime-only registry on the legacy mux path.
+	dopts := diag.Options{Service: "smoothd"}
+	if eng != nil {
+		dopts.Registry = eng.Obs()
+		dopts.Recorders = eng.FlightRecorders()
+		if *sloTarget > 0 {
+			slo := obs.NewSLO(eng.Obs(), eng.StepDurationHist(), sloTarget.Microseconds(), 0.99, func(p99 int64) {
+				log.Printf("smoothd: SLO breach: windowed p99 step duration %dµs > %v", p99, *sloTarget)
+				if err := obs.WriteFlightDump(os.Stderr, eng.FlightRecorders()); err != nil {
+					log.Printf("smoothd: flight dump: %v", err)
+				}
+			})
+			slo.Start(time.Second)
+			defer slo.Stop()
+			dopts.SLO = slo
+		}
+	} else {
+		var b obs.Builder
+		diag.RegisterRuntimeMetrics(&b)
+		dopts.Registry = obs.Build(&b, 1)
+	}
+	if *debugAddr != "" {
+		if _, err := diag.Start(*debugAddr, dopts); err != nil {
+			log.Fatalf("smoothd: %v", err)
+		}
+	}
+	diag.NotifySIGUSR1(dopts)
 
 	// Accept in the background so the main goroutine can watch for signals.
 	acceptDone := make(chan struct{})

@@ -27,9 +27,17 @@
 //
 //	smoothload [-connect localhost:4321[,addr2,...]] [-sessions 256]
 //	           [-delay 16] [-buffer BYTES] [-shards N] [-dialers N]
-//	           [-pprof localhost:6060] [-v]
+//	           [-debug localhost:6061] [-v]
 //	smoothload -ramp [-ramp-start 64] [-ramp-grow 2.0] [-slo 50ms]
 //	           [-sessions MAX]
+//
+// With -debug the generator exposes the same diagnostic surface as
+// smoothd: Prometheus-text /metrics, JSON /statusz, /debug/flightrec and
+// net/http/pprof, live mid-wave. The -slo target also arms a streaming
+// accountant over the windowed p99 step lag (evaluated every second,
+// scrape-visible as slo_* series); entering breach dumps the flight
+// recorder to stderr once per excursion. SIGUSR1 dumps the unified
+// diagnostic snapshot at any time, with or without -debug.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 
 	"repro/internal/diag"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -52,7 +61,7 @@ func main() {
 		buffer    = flag.Int("buffer", 0, "client buffer in bytes to advertise (0 = unlimited)")
 		shards    = flag.Int("shards", 0, "reactor shards (0 = GOMAXPROCS)")
 		dialers   = flag.Int("dialers", 0, "concurrent dial workers (0 = default)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = off)")
+		debugAddr = flag.String("debug", "", "serve /metrics, /statusz, /debug/flightrec and /debug/pprof on this address (empty = off)")
 		verbose   = flag.Bool("v", false, "log per-session completions")
 		ramp      = flag.Bool("ramp", false, "ramp wave sizes until the p99 step-lag SLO breaks; report max sustainable sessions")
 		rampStart = flag.Int("ramp-start", 64, "first wave size in ramp mode")
@@ -63,19 +72,13 @@ func main() {
 	if *sessions < 1 {
 		log.Fatal("smoothload: -sessions must be >= 1")
 	}
-	if *pprofAddr != "" {
-		if err := diag.Serve(*pprofAddr); err != nil {
-			log.Fatalf("smoothload: %v", err)
-		}
-	}
-	diag.SnapshotOnSIGUSR1()
-
 	cfg := loadgen.Config{
-		Addrs:   splitAddrs(*addrs),
-		Shards:  *shards,
-		Buffer:  *buffer,
-		Delay:   *delay,
-		Dialers: *dialers,
+		Addrs:      splitAddrs(*addrs),
+		Shards:     *shards,
+		Buffer:     *buffer,
+		Delay:      *delay,
+		Dialers:    *dialers,
+		Instrument: diag.RegisterRuntimeMetrics,
 	}
 	if *verbose {
 		cfg.OnSessionDone = func(st loadgen.SessionStats) {
@@ -91,6 +94,29 @@ func main() {
 		log.Fatalf("smoothload: %v", err)
 	}
 	defer eng.Close()
+
+	// Diagnostic surface + the streaming SLO accountant over windowed
+	// p99 step lag — the live form of the ramp criterion.
+	acct := obs.NewSLO(eng.Obs(), eng.StepLagHist(), slo.Microseconds(), 0.99, func(p99 int64) {
+		log.Printf("smoothload: SLO breach: windowed p99 step lag %dµs > %v", p99, *slo)
+		if err := obs.WriteFlightDump(os.Stderr, eng.FlightRecorders()); err != nil {
+			log.Printf("smoothload: flight dump: %v", err)
+		}
+	})
+	acct.Start(time.Second)
+	defer acct.Stop()
+	dopts := diag.Options{
+		Service:   "smoothload",
+		Registry:  eng.Obs(),
+		Recorders: eng.FlightRecorders(),
+		SLO:       acct,
+	}
+	if *debugAddr != "" {
+		if _, err := diag.Start(*debugAddr, dopts); err != nil {
+			log.Fatalf("smoothload: %v", err)
+		}
+	}
+	diag.NotifySIGUSR1(dopts)
 
 	if *ramp {
 		runRamp(eng, *sessions, *rampStart, *rampGrow, *slo)

@@ -21,6 +21,7 @@ package admission
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // LogMGF estimates Λ(s) = log((1/n)·Σ exp(s·x_i)) from per-step demand
@@ -98,6 +99,22 @@ func ChernoffExponent(samples []int, K int, C float64) (float64, error) {
 	return v, nil
 }
 
+// Decision counters: every Admissible verdict increments one of these,
+// so a daemon evaluating admission control online can expose accept/deny
+// totals as scrape-time metrics (see Counters). Package-level because the
+// admission math is stateless — there is no controller object to hang
+// them on.
+var (
+	admitCount  atomic.Uint64
+	rejectCount atomic.Uint64
+)
+
+// Counters returns how many Admissible evaluations answered yes and no
+// since process start. Errors count in neither.
+func Counters() (admitted, rejected uint64) {
+	return admitCount.Load(), rejectCount.Load()
+}
+
 // Admissible reports whether K streams fit capacity C with per-step
 // overflow probability at most eps, by the Chernoff criterion.
 func Admissible(samples []int, K int, C, eps float64) (bool, error) {
@@ -108,7 +125,13 @@ func Admissible(samples []int, K int, C, eps float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return exp <= math.Log(eps), nil
+	ok := exp <= math.Log(eps)
+	if ok {
+		admitCount.Add(1)
+	} else {
+		rejectCount.Add(1)
+	}
+	return ok, nil
 }
 
 // MaxStreams returns the largest K in [0, kMax] admissible on capacity C

@@ -28,6 +28,8 @@ import (
 var Scope = []string{
 	"repro/internal/serve",
 	"repro/internal/netstream",
+	"repro/internal/diag",
+	"repro/internal/obs",
 }
 
 // Analyzer is the error-hygiene checker.

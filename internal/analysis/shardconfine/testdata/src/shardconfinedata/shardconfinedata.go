@@ -134,3 +134,34 @@ func receiveOwns(ch chan *shard) {
 		got.draining = true // ok: transferred in
 	}
 }
+
+// shardMetrics mirrors the observability layer's per-shard slot row: the
+// live slots are plain memory owned by the shard goroutine, the published
+// mirror is the sanctioned cross-goroutine surface.
+//
+//smoothvet:confined
+type shardMetrics struct {
+	live []uint64
+	pub  []uint64 //smoothvet:shared
+}
+
+type registry struct {
+	rows []*shardMetrics
+}
+
+// recordOwned: the shard goroutine bumping its own slot is the hot path.
+func recordOwned(m *shardMetrics, slot int) {
+	m.live[slot]++ // ok: receiver-owned row
+}
+
+// scrapeStore: a scraper incrementing another shard's live slot is the
+// exact bug the metrics layer exists to prevent — merge at scrape instead.
+func (r *registry) scrapeStore(i, slot int) {
+	r.rows[i].live[slot]++ // want `store to field live of confined \*shardMetrics through a foreign reference`
+}
+
+// scrapeSharedOK: the published mirror is marked shared; scrape-side
+// writes through it (atomics in the real layer) are sanctioned.
+func (r *registry) scrapeSharedOK(i, slot int, v uint64) {
+	r.rows[i].pub[slot] = v // ok: shared field
+}

@@ -92,7 +92,7 @@ func BenchmarkLoadgenStep(b *testing.B) {
 	for _, n := range []int{1_000, 10_000, 100_000} {
 		b.Run(fmt.Sprintf("sessions_%dk", n/1000), func(b *testing.B) {
 			eng := &Engine{cfg: Config{}, base: time.Now()}
-			sh := newShardCore(eng)
+			sh := newShardCore(eng, 0)
 			sessions := make([]*session, n)
 			for i := range sessions {
 				s := &session{idx: i, fd: -1, pos: -1, delay: delay, stepNanos: stepNanos, start: time.Now()}

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -111,6 +112,9 @@ type Config struct {
 	// finishes, from a dialer goroutine (dial/handshake failures) or a
 	// shard goroutine; it may be called concurrently.
 	OnSessionDone func(SessionStats)
+	// Instrument, if non-nil, registers extra metrics (runtime stats) on
+	// the generator's obs.Builder before it freezes.
+	Instrument func(b *obs.Builder)
 }
 
 // SessionStats summarizes one finished client session.
@@ -162,6 +166,8 @@ type Engine struct {
 	base time.Time // engine-wide monotonic base for all shard clocks
 
 	shards []*shard
+	met    *loadMetrics
+	recs   []*obs.FlightRecorder
 
 	mu        sync.Mutex // guards the dial-side tallies and histograms
 	dialHist  *stats.LogHistogram
@@ -202,9 +208,14 @@ func New(cfg Config) (*Engine, error) {
 		dialHist: stats.NewLogHistogram(stats.DefaultLogHistSubBits),
 		hsHist:   stats.NewLogHistogram(stats.DefaultLogHistSubBits),
 	}
+	e.met = newLoadMetrics(cfg.Shards, cfg.Instrument)
+	e.recs = make([]*obs.FlightRecorder, cfg.Shards)
+	for i := range e.recs {
+		e.recs[i] = obs.NewFlightRecorder(0)
+	}
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		sh, err := newShard(e)
+		sh, err := newShard(e, i)
 		if err != nil {
 			for _, prev := range e.shards[:i] {
 				prev.poller.close()
@@ -342,6 +353,11 @@ func (e *Engine) failSetup(idx int, stage string, err error, start time.Time) {
 		e.hsFails++
 	}
 	e.mu.Unlock()
+	if stage == StageDial {
+		e.met.reg.GlobalInc(e.met.cDialFailed)
+	} else {
+		e.met.reg.GlobalInc(e.met.cHsFailed)
+	}
 	if cb := e.cfg.OnSessionDone; cb != nil {
 		cb(SessionStats{Index: idx, Stage: stage, Err: err, Elapsed: time.Since(start)})
 	}

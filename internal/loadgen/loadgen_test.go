@@ -2,13 +2,17 @@ package loadgen
 
 import (
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/diag"
 	"repro/internal/netstream"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -235,9 +239,39 @@ func TestStageFailureAccounting(t *testing.T) {
 	})
 }
 
+// scrapeMetrics performs one GET /metrics against the generator's diag
+// handler and returns the body.
+func scrapeMetrics(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics returned %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+// metricValue extracts the value of a plain `name value` sample from a
+// Prometheus-text body (-1 when absent).
+func metricValue(body, name string) int64 {
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return -1
+			}
+			return n
+		}
+	}
+	return -1
+}
+
 // TestLoopbackCapacitySmoke runs a small end-to-end wave against a real
 // serving engine — the verify.sh gate; LOADGEN_SMOKE overrides the
-// session count for bigger manual runs.
+// session count for bigger manual runs. Mid-wave it scrapes the
+// generator's /metrics through the diag handler and asserts the key
+// series: the active-sessions gauge reaches the wave size and the
+// step-lag histogram is populated while traffic flows.
 func TestLoopbackCapacitySmoke(t *testing.T) {
 	if runtime.GOOS != "linux" {
 		t.Skip("loadgen reactor requires linux")
@@ -250,15 +284,60 @@ func TestLoopbackCapacitySmoke(t *testing.T) {
 		}
 		n = v
 	}
-	addr := startServer(t, 40, 4*time.Millisecond, 1.1)
+	// Scale the clip with the wave so every session is still streaming
+	// when the last one dials in: the mid-wave gauge check below needs the
+	// whole wave concurrently active, and a session lives ~frames·step.
+	frames := 40 + n/4
+	addr := startServer(t, frames, 4*time.Millisecond, 1.1)
 	eng, err := New(Config{Addrs: []string{addr}, Delay: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	rep, err := eng.Run(n)
-	if err != nil {
-		t.Fatal(err)
+
+	handler := diag.Handler(diag.Options{
+		Service:   "smoothload",
+		Registry:  eng.Obs(),
+		Recorders: eng.FlightRecorders(),
+	})
+
+	type result struct {
+		rep Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := eng.Run(n)
+		done <- result{rep, err}
+	}()
+
+	// Poll /metrics while the wave is in flight: every session holds its
+	// connection until the clip ends, so the active gauge must reach the
+	// full wave size once dialing completes.
+	sawFull := false
+	sawLag := false
+	deadline := time.After(30 * time.Second)
+	var rep Report
+poll:
+	for {
+		select {
+		case r := <-done:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			rep = r.rep
+			break poll
+		case <-deadline:
+			t.Fatalf("wave of %d did not finish (mid-wave: active=%v lag=%v)", n, sawFull, sawLag)
+		case <-time.After(2 * time.Millisecond):
+			body := scrapeMetrics(t, handler)
+			if metricValue(body, "loadgen_sessions_active") == int64(n) {
+				sawFull = true
+			}
+			if metricValue(body, "loadgen_step_lag_us_count") > 0 {
+				sawLag = true
+			}
+		}
 	}
 	if rep.Completed != n || rep.Failed != 0 {
 		t.Fatalf("wave of %d: %d completed, %d failed (%d dial, %d handshake, %d mid-stream)",
@@ -269,6 +348,38 @@ func TestLoopbackCapacitySmoke(t *testing.T) {
 	}
 	if rep.Bytes == 0 || rep.Dial.Count() != int64(n) {
 		t.Fatalf("throughput/stage accounting empty: bytes=%d dials=%d", rep.Bytes, rep.Dial.Count())
+	}
+	if !sawFull {
+		t.Errorf("mid-wave scrape never saw loadgen_sessions_active = %d", n)
+	}
+	if !sawLag {
+		t.Errorf("mid-wave scrape never saw a populated loadgen_step_lag_us histogram")
+	}
+
+	// Post-wave scrape: cumulative counters cover the whole wave and the
+	// active gauge drains back to zero. Run returns when the last session
+	// retires, which can be a beat ahead of that reactor wake's trailing
+	// Publish — poll briefly instead of asserting one scrape.
+	var body string
+	for waited := 0; ; waited++ {
+		body = scrapeMetrics(t, handler)
+		if metricValue(body, "loadgen_sessions_active") == 0 &&
+			metricValue(body, "loadgen_sessions_completed_total") == int64(n) {
+			break
+		}
+		if waited > 200 {
+			break // fall through to the assertions' failure output
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := metricValue(body, "loadgen_sessions_admitted_total"); got != int64(n) {
+		t.Errorf("post-wave admitted_total = %d, want %d", got, n)
+	}
+	if got := metricValue(body, "loadgen_sessions_completed_total"); got != int64(n) {
+		t.Errorf("post-wave completed_total = %d, want %d", got, n)
+	}
+	if got := metricValue(body, "loadgen_sessions_active"); got != 0 {
+		t.Errorf("post-wave active gauge = %d, want 0", got)
 	}
 	t.Logf("%d sessions in %v (%.0f sessions/s), lag p50=%dµs p99=%dµs p99.9=%dµs",
 		n, rep.Elapsed.Round(time.Millisecond), float64(rep.Completed)/rep.Elapsed.Seconds(),

@@ -85,6 +85,10 @@ func (sh *shard) run() {
 			}
 		}
 		sh.scanIdle(now)
+		// Publish the wake's metric state: one gauge store plus an
+		// O(metrics) snapshot copy per wake (≤100/s), never per message.
+		sh.met.Set(sh.eng.met.gActive, uint64(len(sh.sessions)))
+		sh.met.Publish()
 		if sh.eng.closing.Load() {
 			sh.shutdown()
 			return
@@ -177,5 +181,7 @@ func (sh *shard) shutdown() {
 	for _, s := range pend {
 		sh.retire(s, StageMidStream, errEngineClosed, now)
 	}
+	sh.met.Set(sh.eng.met.gActive, 0)
+	sh.met.Publish()
 	sh.poller.close()
 }

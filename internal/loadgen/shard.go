@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -93,35 +94,59 @@ type shard struct {
 	byFd     []*session
 	idleCur  int
 
+	// lag aliases the live obs histogram slot (met.HistRef), so the
+	// per-message Add is also the scrape-visible series.
 	lag   *stats.LogHistogram
 	tally tally
+
+	// met and rec are this shard's obs slots and flight ring: recorded
+	// into only by the reactor goroutine, read elsewhere only through
+	// their published snapshots.
+	met *obs.ShardMetrics
+	rec *obs.FlightRecorder
 }
 
-// newShardCore builds a shard without a poller — the socket-free form the
-// density benchmarks drive through feed directly.
-func newShardCore(e *Engine) *shard {
+// newShardCore builds shard idx without a poller — the socket-free form
+// the density benchmarks drive through feed directly. Engines built
+// outside New (benchmarks) get a single-purpose registry on demand.
+func newShardCore(e *Engine, idx int) *shard {
+	if e.met == nil {
+		e.met = newLoadMetrics(idx+1, nil)
+		e.recs = make([]*obs.FlightRecorder, idx+1)
+		for i := range e.recs {
+			e.recs[i] = obs.NewFlightRecorder(0)
+		}
+	}
+	m := e.met.reg.Shard(idx)
 	sh := &shard{
 		eng:     e,
 		scratch: make([]byte, shardScratchSize),
 		byFd:    make([]*session, 1024),
-		lag:     stats.NewLogHistogram(stats.DefaultLogHistSubBits),
+		lag:     m.HistRef(e.met.hLag),
+		met:     m,
+		rec:     e.recs[idx],
 	}
 	sh.dec = netstream.NewDecoder(&sh.br)
 	return sh
 }
 
-func newShard(e *Engine) (*shard, error) {
+func newShard(e *Engine, idx int) (*shard, error) {
 	p, err := newPoller()
 	if err != nil {
 		return nil, err
 	}
-	sh := newShardCore(e)
+	sh := newShardCore(e, idx)
 	sh.poller = p
 	return sh, nil
 }
 
+// resetStats clears the per-wave aggregates. Run calls it from the main
+// goroutine while the shard is quiescent between waves; the histogram
+// resets go through ResetHist, whose snapshot mutex orders them against
+// the reactor's periodic Publish.
 func (sh *shard) resetStats() {
-	sh.lag.Reset()
+	sh.met.ResetHist(sh.eng.met.hLag)
+	sh.met.ResetHist(sh.eng.met.hOccupancy)
 	sh.tally = tally{}
 }
 
@@ -160,6 +185,8 @@ func (sh *shard) register(s *session, now int64) {
 		sh.retire(s, StageMidStream, err, now)
 		return
 	}
+	sh.met.Inc(sh.eng.met.cAdmitted)
+	sh.rec.Record(now, obs.EvAdmit, uint64(s.idx), 0)
 	s.pos = len(sh.sessions)
 	sh.sessions = append(sh.sessions, s)
 	if s.fd >= len(sh.byFd) {
@@ -209,6 +236,9 @@ func (sh *shard) retire(s *session, stage string, err error, now int64) {
 	}
 	if stage == "" {
 		s.win.Finish()
+		sh.met.Inc(sh.eng.met.cCompleted)
+		sh.met.Observe(sh.eng.met.hOccupancy, int64(s.win.MaxOccupancy()))
+		sh.rec.Record(now, obs.EvRetire, uint64(s.idx), int64(s.maxStep+1))
 		sh.tally.completed++
 		sh.tally.bytes += s.bytes
 		sh.tally.msgs += s.msgs
@@ -219,6 +249,8 @@ func (sh *shard) retire(s *session, stage string, err error, now int64) {
 			sh.tally.maxIncomplete = s.win.Incomplete()
 		}
 	} else {
+		sh.met.Inc(sh.eng.met.cMidFailed)
+		sh.rec.Record(now, obs.EvError, uint64(s.idx), int64(s.maxStep+1))
 		sh.tally.midStreamFailed++
 	}
 	if cb := sh.eng.cfg.OnSessionDone; cb != nil {
@@ -318,6 +350,7 @@ func (sh *shard) onData(s *session, d *netstream.Data, now int64) error {
 	if !s.anchored {
 		s.anchor = now - ideal
 		s.anchored = true
+		sh.rec.Record(now, obs.EvFirstWrite, uint64(s.idx), int64(d.SendStep))
 	}
 	lag := (now - s.anchor - ideal) / int64(time.Microsecond)
 	if !s.refined {

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/drop"
 	"repro/internal/netstream"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/trace"
 )
@@ -70,6 +71,9 @@ type Config struct {
 	// OnSessionDone, if non-nil, is called from the shard goroutine after
 	// a session ends (err is nil for a clean drain to End).
 	OnSessionDone func(s SessionStats, err error)
+	// Instrument, if non-nil, registers extra metrics (runtime stats,
+	// admission counters) on the engine's obs.Builder before it freezes.
+	Instrument func(b *obs.Builder)
 }
 
 // SessionStats summarizes one finished session.
@@ -100,6 +104,10 @@ type Engine struct {
 	shards     []*shard
 	seed       maphash.Seed
 	cohorts    cohortCache
+
+	met     *engineMetrics
+	recs    []*obs.FlightRecorder
+	sessSeq atomic.Uint64 // flight-recorder session ids, assigned at Handle
 
 	active  atomic.Int64
 	served  atomic.Int64
@@ -164,9 +172,12 @@ func newEngine(clip *trace.Clip, weights trace.WeightMap, cfg Config) (*Engine, 
 		}
 		e.stepOffers[t] = offers
 	}
+	e.met = newEngineMetrics(e, cfg.Shards, cfg.Instrument)
+	e.recs = make([]*obs.FlightRecorder, cfg.Shards)
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
-		e.shards[i] = &shard{eng: e, quit: make(chan struct{})}
+		e.recs[i] = obs.NewFlightRecorder(0)
+		e.shards[i] = &shard{eng: e, quit: make(chan struct{}), met: e.met.reg.Shard(i), rec: e.recs[i]}
 	}
 	return e, nil
 }
@@ -202,19 +213,23 @@ func (e *Engine) ServedSessions() int { return int(e.served.Load()) }
 // limit, bad handshake) the connection is closed and an error returned.
 func (e *Engine) Handle(conn net.Conn) error {
 	if e.closing.Load() {
+		e.met.reg.GlobalInc(e.met.cRejected)
 		_ = conn.Close()
 		return fmt.Errorf("serve: engine is draining")
 	}
 	if max := e.cfg.MaxSessions; max > 0 && e.active.Load() >= int64(max) {
+		e.met.reg.GlobalInc(e.met.cRejected)
 		_ = conn.Close()
 		return fmt.Errorf("serve: session limit %d reached", max)
 	}
 	msg, err := netstream.ReadMsg(conn)
 	if err != nil {
+		e.met.reg.GlobalInc(e.met.cRejected)
 		_ = conn.Close()
 		return fmt.Errorf("serve: reading hello: %w", err)
 	}
 	if msg.Hello == nil {
+		e.met.reg.GlobalInc(e.met.cRejected)
 		_ = conn.Close()
 		return fmt.Errorf("serve: expected hello, got %+v", msg)
 	}
@@ -225,6 +240,7 @@ func (e *Engine) Handle(conn net.Conn) error {
 		ServerBuffer: uint32(buffer),
 		StepMicros:   uint32(e.cfg.StepDuration / time.Microsecond),
 	}); err != nil {
+		e.met.reg.GlobalInc(e.met.cRejected)
 		_ = conn.Close()
 		return fmt.Errorf("serve: writing accept: %w", err)
 	}
@@ -236,12 +252,15 @@ func (e *Engine) Handle(conn net.Conn) error {
 		// shard must be fixed before the writer is built.
 		w = &deadlineWriter{c: conn, d: e.cfg.WriteTimeout, clk: &sh.clk}
 	}
+	id := e.sessSeq.Add(1)
 	if c := e.cohortFor(delay, buffer); c != nil {
+		e.met.reg.GlobalInc(e.met.cCohortHits)
 		e.active.Add(1)
 		e.sessWG.Add(1)
 		if !sh.enqueue(admission{row: cohortRow{
-			cohort: c, conn: conn, w: w, remote: remote, start: time.Now(),
+			cohort: c, conn: conn, w: w, remote: remote, start: time.Now(), id: id,
 		}}) {
+			e.met.reg.GlobalInc(e.met.cRejected)
 			e.active.Add(-1)
 			e.sessWG.Done()
 			_ = conn.Close()
@@ -249,14 +268,18 @@ func (e *Engine) Handle(conn net.Conn) error {
 		}
 		return nil
 	}
+	e.met.reg.GlobalInc(e.met.cCohortMiss)
 	s, err := e.newSession(w, delay, buffer)
 	if err != nil {
+		e.met.reg.GlobalInc(e.met.cRejected)
 		_ = conn.Close()
 		return err
 	}
 	s.conn = conn
 	s.remote = remote
+	s.id = id
 	if !sh.enqueue(admission{s: s}) {
+		e.met.reg.GlobalInc(e.met.cRejected)
 		e.unregister(s)
 		_ = conn.Close()
 		return fmt.Errorf("serve: engine is draining")
@@ -356,6 +379,7 @@ type cohortRow struct {
 	w      io.Writer
 	remote string
 	start  time.Time
+	id     uint64 // flight-recorder session id
 }
 
 // cohortRows is the shard-owned struct-of-arrays state of cohort-served
@@ -389,6 +413,12 @@ type shard struct {
 
 	sessions []*session // fallback (bespoke-parameter) sessions
 	rows     cohortRows // cohort-served sessions, struct-of-arrays
+
+	// met and rec are this shard's obs slots and flight ring: recorded
+	// into only by the shard goroutine, read elsewhere only through their
+	// published snapshots.
+	met *obs.ShardMetrics
+	rec *obs.FlightRecorder
 }
 
 // enqueue hands a freshly handshaken session to the shard loop. It reports
@@ -415,6 +445,11 @@ func (sh *shard) run() {
 			return
 		case now := <-tk.C:
 			sh.step(now)
+			// Step duration and snapshot publication happen outside the
+			// noalloc step path: one wall-clock read and one O(metrics)
+			// copy per tick, never per session.
+			sh.met.Observe(sh.eng.met.hStepDur, time.Since(now).Microseconds())
+			sh.met.Publish()
 		}
 	}
 }
@@ -425,11 +460,16 @@ func (sh *shard) admit() {
 	inc := sh.incoming
 	sh.incoming = nil
 	sh.mu.Unlock()
+	now := sh.clk.nanos.Load()
 	for i := range inc {
+		sh.met.Inc(sh.eng.met.cAdmitted)
 		if s := inc[i].s; s != nil {
+			sh.rec.Record(now, obs.EvAdmit, s.id, 0)
 			sh.sessions = append(sh.sessions, s)
 			continue
 		}
+		sh.rec.Record(now, obs.EvAdmit, inc[i].row.id, 0)
+		sh.rec.Record(now, obs.EvCohortAssign, inc[i].row.id, int64(inc[i].row.cohort.Steps()))
 		sh.rows.cohorts = append(sh.rows.cohorts, inc[i].row.cohort)
 		sh.rows.cursors = append(sh.rows.cursors, 0)
 		sh.rows.cold = append(sh.rows.cold, inc[i].row)
@@ -449,9 +489,13 @@ func (sh *shard) step(now time.Time) {
 	sh.stepRows()
 	live := sh.sessions[:0]
 	for _, s := range sh.sessions {
+		if s.step == 0 {
+			sh.rec.Record(sh.clk.nanos.Load(), obs.EvFirstWrite, s.id, 0)
+		}
 		done, err := s.stepOnce()
 		if done || err != nil {
 			s.finish(now, err)
+			sh.noteSessionEnd(s.id, s.step, err)
 		} else {
 			live = append(live, s)
 		}
@@ -460,6 +504,7 @@ func (sh *shard) step(now time.Time) {
 		sh.sessions[i] = nil // release finished sessions to the collector
 	}
 	sh.sessions = live
+	sh.met.Set(sh.eng.met.gActive, uint64(len(sh.sessions)+len(sh.rows.cursors)))
 }
 
 // stepRows advances the cohort rows one model step: a contiguous walk over
@@ -481,6 +526,9 @@ func (sh *shard) stepRows() {
 		// One shared buffer serves the whole phase group [i, j).
 		j := i
 		for j < len(rows.cursors) && rows.cohorts[j] == c && rows.cursors[j] == cur {
+			if cur == 0 {
+				sh.rec.Record(sh.clk.nanos.Load(), obs.EvFirstWrite, rows.cold[j].id, 0)
+			}
 			var err error
 			if len(buf) > 0 {
 				_, err = rows.cold[j].w.Write(buf)
@@ -514,6 +562,7 @@ func (sh *shard) retireRow(j int, cur int32, err error) {
 	if cold.conn != nil {
 		_ = cold.conn.Close()
 	}
+	sh.noteSessionEnd(cold.id, steps, err)
 	e := sh.eng
 	e.active.Add(-1)
 	e.served.Add(1)
@@ -559,11 +608,14 @@ func (sh *shard) shutdown() {
 	}
 	for _, s := range sh.sessions {
 		s.finish(now, errAborted)
+		sh.noteSessionEnd(s.id, s.step, errAborted)
 	}
 	sh.sessions = nil
 	for len(sh.rows.cursors) > 0 {
 		sh.retireRow(len(sh.rows.cursors)-1, sh.rows.cursors[len(sh.rows.cursors)-1], errAborted)
 	}
+	sh.met.Set(sh.eng.met.gActive, 0)
+	sh.met.Publish()
 }
 
 // ---------------------------------------------------------------------------
@@ -582,6 +634,7 @@ type session struct {
 	start   time.Time
 	step    int
 	dropped int
+	id      uint64 // flight-recorder session id
 }
 
 // stepOnce runs one model step: offer this step's arrivals (the shared,

@@ -195,6 +195,67 @@ func (h *LogHistogram) Merge(o *LogHistogram) {
 	}
 }
 
+// errCopyMismatch is pre-boxed so the noalloc CopyFrom can panic without
+// a string-to-any conversion on its own path.
+var errCopyMismatch any = "stats: CopyFrom with mismatched subBits"
+
+// CopyFrom makes h an exact copy of o, reusing h's bucket array. The two
+// histograms must have the same sub-bucket resolution; mismatched
+// resolutions panic. The observability layer publishes per-shard
+// snapshots through this once per tick.
+//
+//smoothvet:noalloc
+func (h *LogHistogram) CopyFrom(o *LogHistogram) {
+	if o.subBits != h.subBits {
+		panic(errCopyMismatch)
+	}
+	copy(h.counts, o.counts)
+	h.n, h.sum, h.min, h.max = o.n, o.sum, o.min, o.max
+}
+
+// SetDelta makes h the per-bucket difference cur - prev of two cumulative
+// histograms (cur must contain every observation of prev, the usual case
+// for a monotonically growing distribution between two scrapes). When cur
+// has fewer observations than prev the source was reset in between; the
+// delta is then cur itself. The exact min/max of the window are not
+// recoverable from cumulative extremes, so SetDelta derives them from the
+// delta's occupied bucket edges — they retain the histogram's relative
+// error bound rather than being exact.
+func (h *LogHistogram) SetDelta(cur, prev *LogHistogram) {
+	if cur.subBits != h.subBits || prev.subBits != h.subBits {
+		panic("stats: SetDelta with mismatched subBits")
+	}
+	if cur.n < prev.n {
+		h.CopyFrom(cur)
+		return
+	}
+	h.n = cur.n - prev.n
+	h.sum = cur.sum - prev.sum
+	h.min, h.max = 0, 0
+	first := -1
+	last := -1
+	for i := range h.counts {
+		d := cur.counts[i] - prev.counts[i]
+		h.counts[i] = d
+		if d > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if h.n > 0 && first >= 0 {
+		h.min = h.bucketLow(first)
+		h.max = h.bucketHigh(last)
+		if cur.max < h.max {
+			h.max = cur.max
+		}
+		if h.min > h.max {
+			h.min = h.max
+		}
+	}
+}
+
 // Reset forgets every recorded observation, retaining the bucket array.
 //
 //smoothvet:noalloc

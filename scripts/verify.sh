@@ -54,6 +54,9 @@ echo "== loopback capacity smoke (1k sessions)"
 # One real client-engine wave against a real serving engine over loopback
 # TCP — the cheap end-to-end check that the sharded client reactor, the
 # wire framing and the playout accounting still work together at density.
+# The test also scrapes /metrics mid-wave and asserts the key series: the
+# active-sessions gauge reaches the wave size and the step-lag histogram
+# fills while traffic flows.
 LOADGEN_SMOKE=1000 go test -count=1 -run '^TestLoopbackCapacitySmoke$' ./internal/loadgen
 
 echo "== bench + regression gate"
@@ -76,7 +79,10 @@ go build -o bin/benchdiff ./cmd/benchdiff
 # allocations: the whole point of the compute-once layer is that a shard
 # tick over 100k sessions touches no allocator at all. The client engine's
 # per-step path (BenchmarkLoadgenStep) carries the same zero pin — the dual
-# invariant for the receiving side — while the end-to-end loopback waves
+# invariant for the receiving side — as does the observability record path
+# (BenchmarkObsRecord): a metric increment, histogram observation or
+# flight-recorder append must never touch the allocator. The end-to-end
+# loopback waves
 # get wide bounds: one op there is a full wave of real dials and sessions,
 # so both timing and the dial-path allocation count wobble with the host.
 bin/benchdiff -baseline BENCH_quick.json -current bin/bench_current.json \
@@ -86,6 +92,7 @@ bin/benchdiff -baseline BENCH_quick.json -current bin/bench_current.json \
     -rule 'BenchmarkSweepWorkers/*/par:allocs=4.0+256,bytes=4.0+65536' \
     -rule 'BenchmarkEngineStepDensity/cohort/*:allocs=0.0+0,bytes=0.0+0' \
     -rule 'BenchmarkLoadgenStep/*:allocs=0.0+0,bytes=0.0+0' \
+    -rule 'BenchmarkObsRecord/*:allocs=0.0+0,bytes=0.0+0' \
     -rule 'BenchmarkLoopback/*:ns=3.0+1000000000,allocs=0.3+8192,bytes=0.5+8388608'
 
 echo "verify: OK"
