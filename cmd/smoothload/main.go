@@ -21,7 +21,12 @@
 // In ramp mode (-ramp) smoothload runs waves of increasing size until
 // the p99 step lag exceeds the SLO (-slo) or sessions start failing, and
 // reports the largest wave the server sustained — the "max sessions at a
-// p99 lag SLO" capacity number for the engine's density work.
+// p99 lag SLO" capacity number for the engine's density work. With
+// multiple -connect addresses (including a smoothlb front tier, or the
+// backends behind one), sessions stripe across them by session index
+// (idx % len(addrs)); the stripe is a pure function of the index, so
+// every ramp wave re-measures the same server mix and wave-to-wave lag
+// deltas are attributable to load, not reassignment.
 //
 // Usage:
 //

@@ -30,6 +30,7 @@ var Scope = []string{
 	"repro/internal/netstream",
 	"repro/internal/diag",
 	"repro/internal/obs",
+	"repro/internal/lb",
 }
 
 // Analyzer is the error-hygiene checker.

@@ -93,3 +93,25 @@ func closureNeedsOwnArm(c conn, p []byte) func() {
 		_, _ = c.Write(p) // want `write to c without arming SetWriteDeadline`
 	}
 }
+
+// relayFlush mirrors the front tier's relay fallback flushing a pending
+// span to the client: the write's error is the session's fate — dropping
+// it leaves a dead session spinning in the relay loop.
+func relayFlush(c conn, pend []byte) {
+	if err := c.SetWriteDeadline(time.Time{}.Add(time.Second)); err != nil {
+		return
+	}
+	c.Write(pend) // want `c\.Write returns an error that is silently dropped`
+}
+
+// relayFlushHandled is the sanctioned shape: deadline armed, error
+// decides the session.
+func relayFlushHandled(c conn, pend []byte) error {
+	if err := c.SetWriteDeadline(time.Time{}.Add(time.Second)); err != nil {
+		return err
+	}
+	if _, err := c.Write(pend); err != nil {
+		return err
+	}
+	return nil
+}

@@ -165,3 +165,45 @@ func (r *registry) scrapeStore(i, slot int) {
 func (r *registry) scrapeSharedOK(i, slot int, v uint64) {
 	r.rows[i].pub[slot] = v // ok: shared field
 }
+
+// relayShard mirrors the front tier's relay shard: the fd-indexed
+// placement table maps live fds to sessions and is touched only by the
+// shard's reactor goroutine; placements arrive through the shared
+// incoming queue.
+//
+//smoothvet:confined
+type relayShard struct {
+	mu       sync.Mutex //smoothvet:shared
+	incoming []int      //smoothvet:shared
+	table    []int
+}
+
+type frontTier struct {
+	relays []*relayShard
+}
+
+// placeDirect: a placement worker writing another shard's placement
+// table directly instead of queueing through incoming — the cross-shard
+// write the front tier's enqueue/admit split exists to prevent.
+func (e *frontTier) placeDirect(i, fd int) {
+	e.relays[i].table = append(e.relays[i].table, fd) // want `store to field table of confined \*relayShard through a foreign reference`
+}
+
+// placeQueued is the sanctioned hand-off: append to the shared queue
+// under the shared mutex; the owning goroutine moves it into the table.
+func (e *frontTier) placeQueued(i, fd int) {
+	sh := e.relays[i]
+	sh.mu.Lock()
+	sh.incoming = append(sh.incoming, fd) // ok: shared field under the shared mutex
+	sh.mu.Unlock()
+}
+
+// drainOwned: the reactor goroutine moving queued placements into its
+// own table.
+func (sh *relayShard) drainOwned() {
+	sh.mu.Lock()
+	pend := sh.incoming
+	sh.incoming = nil // ok: shared field
+	sh.mu.Unlock()
+	sh.table = append(sh.table, pend...) // ok: receiver-owned
+}

@@ -1,0 +1,295 @@
+//go:build linux
+
+package lb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// Socket-free relay benchmark: the per-step splice hot path.
+// ---------------------------------------------------------------------------
+
+// benchRelayEngine builds an engine shell with live metrics but no
+// goroutines, so the bench's allocation count sees only the relay path.
+func benchRelayEngine(b *testing.B, shards int) *Engine {
+	b.Helper()
+	e := &Engine{
+		cfg: Config{
+			Backends:     []string{"bench"},
+			BackendSlots: 10000,
+			IdleTimeout:  -1,
+			StallTimeout: -1,
+		},
+		base: time.Now(),
+		quit: make(chan struct{}),
+	}
+	e.backends = []*backend{{idx: 0, addr: "bench"}}
+	e.met = newLBMetrics(e, shards, nil)
+	e.recs = make([]*obs.FlightRecorder, shards+1)
+	for i := range e.recs {
+		e.recs[i] = obs.NewFlightRecorder(0)
+	}
+	return e
+}
+
+// benchPipe returns a nonblocking pipe pair.
+func benchPipe(b *testing.B) (r, w int) {
+	b.Helper()
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		b.Fatal(err)
+	}
+	return p[0], p[1]
+}
+
+// BenchmarkLBRelayStep measures one relay step of the front tier with
+// the sockets replaced by pipes (pipes splice exactly like sockets, with
+// none of the TCP noise): a span of backend bytes enters the session's
+// source, relay moves it source → per-session pipe → sink without
+// leaving the kernel, and the bench drains the sink. One op = one step
+// of one session. The steady state must not allocate — this path has to
+// hold at 10k relayed sessions per tier — and it is pinned at exactly
+// 0 B/op, 0 allocs/op in scripts/verify.sh.
+func BenchmarkLBRelayStep(b *testing.B) {
+	const chunk = 16 << 10
+	for _, sessions := range []int{1, 1024} {
+		b.Run(fmt.Sprintf("sessions_%d", sessions), func(b *testing.B) {
+			e := benchRelayEngine(b, 1)
+			sh, err := newShard(e, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sh.poller.close()
+			srcW := make([]int, sessions)
+			sinkR := make([]int, sessions)
+			for i := 0; i < sessions; i++ {
+				sr, sw := benchPipe(b)
+				kr, kw := benchPipe(b)
+				pr, pw := benchPipe(b)
+				s := &session{
+					id:         uint64(i + 1),
+					bfd:        sr,
+					cfd:        kw,
+					pipeR:      pr,
+					pipeW:      pw,
+					pos:        i,
+					backendIdx: 0,
+					backend:    e.backends[0],
+				}
+				sh.sessions = append(sh.sessions, s)
+				srcW[i], sinkR[i] = sw, kr
+			}
+			defer func() {
+				for i, s := range sh.sessions {
+					sh.closeRelay(s)
+					_ = syscall.Close(srcW[i])
+					_ = syscall.Close(sinkR[i])
+				}
+			}()
+			span := make([]byte, chunk)
+			drain := make([]byte, chunk)
+			step := func(i, now int) {
+				s := sh.sessions[i]
+				if _, err := syscall.Write(srcW[i], span); err != nil {
+					b.Fatal(err)
+				}
+				sh.relay(s, int64(now))
+				if s.fallback {
+					b.Fatal("relay fell back to the copy path on a pipe")
+				}
+				for got := 0; got < chunk; {
+					n, err := syscall.Read(sinkR[i], drain[got:])
+					if err != nil {
+						b.Fatal(err)
+					}
+					got += n
+				}
+			}
+			// Warmup: anchor every session (the one-time EvFirstWrite
+			// record) so the timed loop is pure steady state.
+			for i := 0; i < sessions; i++ {
+				step(i, 0)
+			}
+			b.SetBytes(chunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step(i%sessions, i+1)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fleet benchmark: real backends (child processes), real tier.
+// ---------------------------------------------------------------------------
+
+// TestFleetBackend is not a test: it is one smoothd-shaped backend for
+// BenchmarkFleetLoopback, run in a re-exec'd child process so the
+// per-process fd ceiling bounds each tier separately. It prints
+// "LISTEN <addr>" once ready and exits when stdin closes.
+func TestFleetBackend(t *testing.T) {
+	if os.Getenv("FLEET_BACKEND") != "1" {
+		t.Skip("backend half of BenchmarkFleetLoopback; set FLEET_BACKEND=1")
+	}
+	addr := startBackend(t, 24, 2*time.Millisecond, 1.1)
+	fmt.Printf("LISTEN %s\n", addr)
+	_, _ = bufio.NewReader(os.Stdin).ReadString('\n') // block until the parent hangs up
+}
+
+// startBackendProcess re-execs the test binary as one fleet backend.
+func startBackendProcess(b *testing.B) (string, func()) {
+	b.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestFleetBackend$", "-test.v")
+	cmd.Env = append(os.Environ(), "FLEET_BACKEND=1")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		b.Fatal(err)
+	}
+	stop := func() {
+		_ = stdin.Close()
+		_ = cmd.Wait()
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "LISTEN "); ok {
+			return rest, stop
+		}
+	}
+	stop()
+	b.Fatalf("fleet backend produced no LISTEN line (scan err: %v)", sc.Err())
+	return "", nil
+}
+
+// benchWave drives waves of n digest-free sessions at addrs and returns
+// the cumulative report. Waves are capped so the bench process (loadgen
+// sockets + tier sockets + relay pipes ≈ 5 fds per concurrent session
+// when addrs is the tier) stays under the fd ceiling.
+func benchWave(b *testing.B, gen *loadgen.Engine, n, maxWave int) loadgen.Report {
+	b.Helper()
+	var last loadgen.Report
+	var elapsed time.Duration
+	for left := n; left > 0; {
+		wave := left
+		if wave > maxWave {
+			wave = maxWave
+		}
+		rep, err := gen.Run(wave)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed > 0 {
+			b.Fatalf("wave of %d: %d failed (%d dial, %d handshake, %d mid-stream)",
+				wave, rep.Failed, rep.DialFailed, rep.HandshakeFailed, rep.MidStreamFailed)
+		}
+		rep.Elapsed = elapsed + rep.Elapsed
+		elapsed = rep.Elapsed
+		if last.Lag != nil && left < n {
+			rep.Lag.Merge(last.Lag)
+		}
+		last = rep
+		left -= wave
+	}
+	return last
+}
+
+// BenchmarkFleetLoopback drives N complete sessions through the full
+// fleet path — loadgen → in-process smoothlb tier → two re-exec'd
+// backend processes — and the same N directly at the backends, reporting
+// the tier's added p99 step lag. One op = one full wave of N sessions
+// through the tier. The 10k point runs 2500-session waves to stay under
+// the per-process fd ceiling (each concurrent tier session holds 5 fds
+// in this process: loadgen socket, tier client+backend sockets, pipe
+// pair). The splice-fallback counter must stay zero — every relayed
+// byte moves kernel-to-kernel.
+func BenchmarkFleetLoopback(b *testing.B) {
+	const maxWave = 2_500
+	backendAddrs := make([]string, 2)
+	for i := range backendAddrs {
+		addr, stop := startBackendProcess(b)
+		defer stop()
+		backendAddrs[i] = addr
+	}
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("sessions_%dk", n/1000), func(b *testing.B) {
+			// Direct baseline, untimed: the same wave shape straight at
+			// the backends.
+			directGen, err := loadgen.New(loadgen.Config{Addrs: backendAddrs, Delay: 8, Dialers: 128})
+			if err != nil {
+				b.Fatal(err)
+			}
+			direct := benchWave(b, directGen, n, maxWave)
+			directGen.Close()
+			directP99 := float64(direct.Lag.Quantile(0.99))
+
+			eng, err := New(Config{Backends: backendAddrs, PlaceWorkers: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			var acceptWG sync.WaitGroup
+			go func() {
+				for {
+					conn, err := ln.Accept()
+					if err != nil {
+						return
+					}
+					acceptWG.Add(1)
+					go func(c net.Conn) {
+						defer acceptWG.Done()
+						_ = eng.Handle(c)
+					}(conn)
+				}
+			}()
+			gen, err := loadgen.New(loadgen.Config{Addrs: []string{ln.Addr().String()}, Delay: 8, Dialers: 128})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gen.Close()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last loadgen.Report
+			for i := 0; i < b.N; i++ {
+				last = benchWave(b, gen, n, maxWave)
+			}
+			b.StopTimer()
+			lbP99 := float64(last.Lag.Quantile(0.99))
+			b.ReportMetric(float64(n)/last.Elapsed.Seconds(), "sessions/s")
+			b.ReportMetric(directP99, "direct-p99-µs")
+			b.ReportMetric(lbP99, "lb-p99-µs")
+			if directP99 > 0 {
+				b.ReportMetric(100*(lbP99-directP99)/directP99, "lag-overhead-%")
+			}
+			if f := eng.SpliceFallbacks(); f != 0 {
+				b.Fatalf("splice fallbacks %d, want 0: the zero-copy path regressed", f)
+			}
+		})
+	}
+}

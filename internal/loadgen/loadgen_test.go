@@ -406,3 +406,77 @@ func TestRunErrors(t *testing.T) {
 		t.Error("New without addresses accepted")
 	}
 }
+
+// TestStripeAssignmentDeterministic: sessions stripe across Config.Addrs
+// by session index (idx % len(Addrs)), and the assignment is a pure
+// function of the index — identical on every wave of the same engine and
+// across engines. Fleet ramps (smoothload -ramp -connect a,b) depend on
+// this: wave k+1 re-measures the same server mix as wave k, so a lag
+// regression means the servers changed, not the stripe. Two backends
+// serving distinguishable clips make the assignment visible in the
+// per-session digests.
+func TestStripeAssignmentDeterministic(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("loadgen reactor requires linux")
+	}
+	// Different frame counts: the clips differ, so the two backends
+	// produce different digests.
+	addrs := []string{
+		startServer(t, 30, 2*time.Millisecond, 1.1),
+		startServer(t, 44, 2*time.Millisecond, 1.1),
+	}
+	const n = 24
+	wave := func(eng *Engine) []uint64 {
+		t.Helper()
+		digests := make([]uint64, n)
+		var mu sync.Mutex
+		eng.cfg.OnSessionDone = func(st SessionStats) {
+			mu.Lock()
+			digests[st.Index] = st.Digest
+			mu.Unlock()
+		}
+		rep, err := eng.Run(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("%d of %d sessions failed", rep.Failed, n)
+		}
+		return digests
+	}
+	eng, err := New(Config{Addrs: addrs, Shards: 2, Delay: 8, Digest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	first := wave(eng)
+	if first[0] == first[1] {
+		t.Fatalf("backends are indistinguishable (digest %x); the stripe cannot be observed", first[0])
+	}
+	// The assignment is idx % len(addrs): every session's digest matches
+	// the reference digest of its stripe.
+	for i, d := range first {
+		if want := first[i%len(addrs)]; d != want {
+			t.Errorf("session %d: digest %x, want stripe %d digest %x", i, d, i%len(addrs), want)
+		}
+	}
+	// Same engine, next wave: identical assignment.
+	second := wave(eng)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("session %d: digest %x on wave 1, %x on wave 2 — stripe moved between waves", i, first[i], second[i])
+		}
+	}
+	// Fresh engine (a new ramp step): still identical.
+	eng2, err := New(Config{Addrs: addrs, Shards: 1, Delay: 8, Digest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng2.Close()
+	third := wave(eng2)
+	for i := range first {
+		if first[i] != third[i] {
+			t.Errorf("session %d: digest %x from engine 1, %x from engine 2", i, first[i], third[i])
+		}
+	}
+}

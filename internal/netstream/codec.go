@@ -424,6 +424,37 @@ func (dec *Decoder) Next() (Msg, error) {
 	}
 }
 
+// WriteTo re-encodes the message onto w, byte-identical to its original
+// wire form. Proxies use it to forward a decoded handshake message
+// verbatim: ReadMsg from one peer, WriteTo on the other. Exactly one of
+// the Msg's fields must be set; a zero Msg is an error. The staging
+// buffer comes from the shared encoder pool, so forwarding a handshake
+// does not allocate in steady state. Msg implements io.WriterTo.
+func (m Msg) WriteTo(w io.Writer) (int64, error) {
+	if m.Hello == nil && m.Accept == nil && m.Data == nil && !m.End {
+		return 0, errors.New("netstream: WriteTo on an empty Msg")
+	}
+	if m.Data != nil && len(m.Data.Payload) > MaxPayload {
+		return 0, fmt.Errorf("netstream: payload %d exceeds limit %d", len(m.Data.Payload), MaxPayload)
+	}
+	var n int
+	err := writePooled(w, func(buf []byte) []byte {
+		switch {
+		case m.Hello != nil:
+			buf = appendHello(buf, *m.Hello)
+		case m.Accept != nil:
+			buf = appendAccept(buf, *m.Accept)
+		case m.Data != nil:
+			buf = appendData(buf, m.Data)
+		default:
+			buf = append(buf, msgEnd)
+		}
+		n = len(buf)
+		return buf
+	})
+	return int64(n), err
+}
+
 // ReadMsg reads and decodes the next message. Unlike Decoder.Next, the
 // returned message owns its memory; use a Decoder on hot receive loops.
 func ReadMsg(r io.Reader) (Msg, error) {

@@ -256,3 +256,56 @@ func TestDecoderStreamRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestMsgWriteToRoundTrip pins the proxy-forwarding contract: re-encoding
+// a decoded message produces the exact bytes that were read, for every
+// message type, so a front tier can relay a handshake verbatim.
+func TestMsgWriteToRoundTrip(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteHello(&wire, Hello{ClientBuffer: 4096, DesiredDelay: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAccept(&wire, Accept{Rate: 300, Delay: 7, ServerBuffer: 2100, StepMicros: 40000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteData(&wire, Data{StreamID: 2, SliceID: 9, Arrival: 3, Size: 10,
+		Weight: 1.5, SendStep: 4, Offset: 5, Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEnd(&wire); err != nil {
+		t.Fatal(err)
+	}
+	transcript := wire.Bytes()
+
+	rd := bytes.NewReader(transcript)
+	var rewritten bytes.Buffer
+	for i := 0; ; i++ {
+		m, err := ReadMsg(rd)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		n, err := m.WriteTo(&rewritten)
+		if err != nil {
+			t.Fatalf("message %d: WriteTo: %v", i, err)
+		}
+		if n <= 0 {
+			t.Fatalf("message %d: WriteTo wrote %d bytes", i, n)
+		}
+		if m.End {
+			break
+		}
+	}
+	if !bytes.Equal(rewritten.Bytes(), transcript) {
+		t.Fatalf("re-encoded transcript differs:\n got %x\nwant %x", rewritten.Bytes(), transcript)
+	}
+}
+
+func TestMsgWriteToEmpty(t *testing.T) {
+	var m Msg
+	if _, err := m.WriteTo(io.Discard); err == nil {
+		t.Fatal("WriteTo on empty Msg succeeded")
+	}
+}

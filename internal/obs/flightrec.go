@@ -24,6 +24,16 @@ const (
 	EvRetire
 	// EvError marks a failed session exit (arg is a stage/errno tag).
 	EvError
+	// EvPlace marks a front-tier session placed on a backend (arg is the
+	// backend index).
+	EvPlace
+	// EvReplace marks a front-tier session pulled back off a backend —
+	// drain or dial failure — and returned to placement (arg is the
+	// backend index it left).
+	EvReplace
+	// EvBackendDrain marks a backend entering graceful drain (sess is the
+	// backend index; no session is involved).
+	EvBackendDrain
 )
 
 var eventKindNames = [...]string{
@@ -33,6 +43,9 @@ var eventKindNames = [...]string{
 	EvDeadlineExpiry: "deadline-expiry",
 	EvRetire:         "retire",
 	EvError:          "error",
+	EvPlace:          "place",
+	EvReplace:        "re-place",
+	EvBackendDrain:   "backend-drain",
 }
 
 // String returns the event kind's wire name.

@@ -59,6 +59,14 @@ echo "== loopback capacity smoke (1k sessions)"
 # fills while traffic flows.
 LOADGEN_SMOKE=1000 go test -count=1 -run '^TestLoopbackCapacitySmoke$' ./internal/loadgen
 
+echo "== fleet relay smoke (1k sessions, mid-wave backend drain)"
+# The same wave shape through the front tier: loadgen -> smoothlb engine
+# -> two serving engines, with a graceful backend drain landing mid-wave.
+# Zero client-visible failures are required across the drain, the drained
+# backend's placement tail must stay bounded, and the splice-fallback
+# counter must read zero — every relayed byte moved kernel-to-kernel.
+LB_SMOKE=1000 go test -count=1 -run '^TestFleetSmoke$' ./internal/lb
+
 echo "== bench + regression gate"
 # Run every benchmark at the same short protocol the committed baseline was
 # recorded with (-benchtime 5x; BenchmarkSweepWorkers additionally at
@@ -93,6 +101,8 @@ bin/benchdiff -baseline BENCH_quick.json -current bin/bench_current.json \
     -rule 'BenchmarkEngineStepDensity/cohort/*:allocs=0.0+0,bytes=0.0+0' \
     -rule 'BenchmarkLoadgenStep/*:allocs=0.0+0,bytes=0.0+0' \
     -rule 'BenchmarkObsRecord/*:allocs=0.0+0,bytes=0.0+0' \
-    -rule 'BenchmarkLoopback/*:ns=3.0+1000000000,allocs=0.3+8192,bytes=0.5+8388608'
+    -rule 'BenchmarkLoopback/*:ns=3.0+1000000000,allocs=0.3+8192,bytes=0.5+8388608' \
+    -rule 'BenchmarkLBRelayStep/*:allocs=0.0+0,bytes=0.0+0' \
+    -rule 'BenchmarkFleetLoopback/*:ns=3.0+1000000000,allocs=0.3+8192,bytes=0.5+8388608'
 
 echo "verify: OK"
