@@ -315,7 +315,37 @@ func (e *Engine) Handle(conn net.Conn) error {
 	e.pendCount.Add(1)
 	e.met.reg.GlobalInc(e.met.cAccepted)
 	e.recs[0].Record(s.enqueued, obs.EvAdmit, s.id, 0)
+	if e.closing.Load() {
+		// Close ran while this goroutine was blocked in the hello read:
+		// its drain of e.pending may already be past, in which case the
+		// session just queued would leak (conn open, active pinned,
+		// OnSessionDone never fired). closing was set before that drain,
+		// so seeing it false here means the drain has yet to run and will
+		// collect the session; seeing it true means this goroutine must
+		// drain instead. Pulling sessions other goroutines queued is fine
+		// — everything queued after closing is failed with errEngineClosed
+		// regardless of who pulls it, and channel receives never double-
+		// deliver.
+		e.drainPending()
+		return errEngineClosed
+	}
 	return nil
+}
+
+// drainPending pulls and fails every queued session; used by Close after
+// the placement workers stop and by Handle when its enqueue races that
+// drain.
+func (e *Engine) drainPending() {
+	now := e.monotonic()
+	for {
+		select {
+		case s := <-e.pending:
+			e.pendCount.Add(-1)
+			e.failPlacement(s, errEngineClosed, now)
+		default:
+			return
+		}
+	}
 }
 
 // reject closes a refused connection and counts it.
@@ -385,19 +415,11 @@ func (e *Engine) Close() {
 	close(e.quit)
 	e.placeWG.Wait()
 	e.maintWG.Wait()
-	// Fail everything still queued; workers are gone, so the queue is
-	// static now.
-	now := e.monotonic()
-	for {
-		select {
-		case s := <-e.pending:
-			e.pendCount.Add(-1)
-			e.failPlacement(s, errEngineClosed, now)
-		default:
-			e.loopWG.Wait()
-			return
-		}
-	}
+	// Fail everything still queued. Workers are gone, so only a Handle
+	// goroutine still blocked in its hello read can enqueue after this —
+	// and it re-checks closing after its send and drains its own wake.
+	e.drainPending()
+	e.loopWG.Wait()
 }
 
 // Active returns the number of admitted, unfinished sessions.

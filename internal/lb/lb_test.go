@@ -1,15 +1,18 @@
 package lb
 
 import (
+	"errors"
 	"net"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/netstream"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -342,5 +345,156 @@ func TestHandleRejectsBadHello(t *testing.T) {
 			t.Fatal("rejection was never counted")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// startFloodBackend is a fake smoothd that answers the handshake and then
+// streams junk as fast as the socket accepts it — the fastest way to fill
+// a non-reading client's buffers and force a relay stall.
+func startFloodBackend(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if _, err := netstream.ReadMsg(c); err != nil {
+					return
+				}
+				acc := netstream.Accept{Rate: 1, Delay: 1, ServerBuffer: 1, StepMicros: 1000}
+				_ = c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+				if _, err := (netstream.Msg{Accept: &acc}).WriteTo(c); err != nil {
+					return
+				}
+				junk := make([]byte, 64<<10)
+				for {
+					_ = c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+					if _, err := c.Write(junk); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestStallTimeoutRetiresStalledSession: a client that stops reading
+// while the backend keeps sending must be retired within StallTimeout.
+// Regression: level-triggered backend readability used to re-enter relay
+// while the session was parked on EPOLLOUT, re-stalling it every wake —
+// which reset the stall clock (so the timeout never fired) and inflated
+// the stall counter. The counter pinning to exactly 1 is the proof the
+// re-entry is gone.
+func TestStallTimeoutRetiresStalledSession(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("relay reactor tests require linux")
+	}
+	backend := startFloodBackend(t)
+	lbAddr, eng := startLB(t, Config{
+		Backends:     []string{backend},
+		Shards:       1,
+		StallTimeout: 200 * time.Millisecond,
+		IdleTimeout:  -1,
+	})
+	conn, err := net.Dial("tcp", lbAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	hello := netstream.Hello{ClientBuffer: 1024, DesiredDelay: 8}
+	if _, err := (netstream.Msg{Hello: &hello}).WriteTo(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netstream.ReadMsg(conn); err != nil {
+		t.Fatalf("reading accept: %v", err)
+	}
+	// Stop reading; the flood fills the pipe and both socket buffers, the
+	// relay stalls once, and StallTimeout must retire the session even
+	// though this conn stays open.
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Active() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled session never retired; %d still active", eng.Active())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := counterValue(eng, eng.met.cFailed); got != 1 {
+		t.Errorf("failed relays %d, want 1 (stall timeout)", got)
+	}
+	if got := counterValue(eng, eng.met.cStalls); got != 1 {
+		t.Errorf("stall count %d, want exactly 1: re-stalling a parked session resets its clock", got)
+	}
+}
+
+// TestHandleCloseRaceLeaksNothing: Close can drain the pending queue
+// while a Handle goroutine is still blocked in its hello read; when that
+// Handle then enqueues, it must detect the race and fail the session
+// itself rather than leak it (conn open, active pinned, OnSessionDone
+// never fired).
+func TestHandleCloseRaceLeaksNothing(t *testing.T) {
+	var done atomic.Int64
+	eng, err := New(Config{
+		Backends:      []string{"127.0.0.1:1"},
+		Shards:        1,
+		OnSessionDone: func(SessionStats) { done.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-accepted
+	handleErr := make(chan error, 1)
+	go func() { handleErr <- eng.Handle(server) }()
+	// Let Handle pass its closing pre-check and block in the hello read,
+	// then run the full Close — workers exit and the pending drain runs
+	// before the hello ever arrives.
+	time.Sleep(50 * time.Millisecond)
+	eng.Close()
+	hello := netstream.Hello{ClientBuffer: 1024, DesiredDelay: 8}
+	if _, err := (netstream.Msg{Hello: &hello}).WriteTo(client); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-handleErr:
+		if !errors.Is(err, errEngineClosed) {
+			t.Errorf("Handle returned %v, want errEngineClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Handle never returned after Close")
+	}
+	if got := eng.Active(); got != 0 {
+		t.Errorf("active sessions %d after Close, want 0 (leaked by the race)", got)
+	}
+	if got := done.Load(); got != 1 {
+		t.Errorf("OnSessionDone fired %d times, want 1", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync/atomic"
 	"time"
 
@@ -276,6 +277,14 @@ type statuszDoc struct {
 func (e *Engine) scrapeBackend(b *backend) {
 	resp, err := e.httpc.Get(b.statusURL)
 	if err != nil {
+		b.scrapeErrs.Add(1)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		// An error page whose body happens to parse (a 500 rendering
+		// "{}") must not pass for a fresh sample — it would zero the
+		// scored signals and clear drainScrape on a draining backend.
+		_ = resp.Body.Close()
 		b.scrapeErrs.Add(1)
 		return
 	}

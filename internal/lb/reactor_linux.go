@@ -121,12 +121,24 @@ func (sh *shard) dispatch(s *session, fd int, events uint32, now int64) {
 				sh.retire(s, err, now)
 				return
 			}
+			// The backend fd left the epoll set at stall time; bytes it
+			// buffered meanwhile surface level-triggered once re-added.
+			if err := sh.poller.addRead(s.bfd); err != nil {
+				sh.retire(s, err, now)
+				return
+			}
 			sh.relay(s, now)
 			return
 		}
 		if events&(syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
 			sh.onClientHup(s, now)
 		}
+		return
+	}
+	if s.stalled {
+		// A backend event harvested in the same wake batch as the stall:
+		// re-entering relay would re-stall and reset the stall clock,
+		// defeating StallTimeout. The data keeps until the client resumes.
 		return
 	}
 	sh.relay(s, now)
@@ -339,11 +351,23 @@ func (sh *shard) relay(s *session, now int64) {
 
 const spliceFlags = 0x1 | 0x2 // SPLICE_F_MOVE | SPLICE_F_NONBLOCK
 
-// stall parks a session on client writability.
+// stall parks a session on client writability. The backend fd leaves the
+// epoll set for the duration: its level-triggered readability would
+// otherwise spin the reactor awake (and, via relay, reset the stall
+// clock) the whole time the client is parked. Pending backend bytes wait
+// in its socket buffer and resurface when dispatch re-adds the fd at
+// resume.
 func (sh *shard) stall(s *session, now int64) {
+	if s.stalled {
+		return
+	}
 	s.stalled = true
 	s.stallStart = now
 	sh.met.Inc(sh.eng.met.cStalls)
+	if err := sh.poller.del(s.bfd); err != nil {
+		sh.retire(s, err, now)
+		return
+	}
 	if err := sh.poller.armWrite(s.cfd); err != nil {
 		sh.retire(s, err, now)
 	}

@@ -65,10 +65,15 @@ func (sh *shard) startRelay(s *session, now int64) error {
 }
 
 // copySession relays backend→client in userspace until EOF or error.
+// Both directions carry a per-chunk deadline: the reader enforces
+// Config.IdleTimeout on a silent backend, the writer Config.StallTimeout
+// on a stalled client — the same two timeouts the Linux reactor's idle
+// sweep applies.
 func (sh *shard) copySession(s *session) {
 	buf := make([]byte, 64<<10)
+	src := &deadlineReader{c: s.backendConn, d: sh.eng.cfg.IdleTimeout}
 	dst := &deadlineWriter{c: s.clientConn, d: sh.eng.cfg.StallTimeout}
-	n, err := io.CopyBuffer(dst, s.backendConn, buf)
+	n, err := io.CopyBuffer(dst, src, buf)
 	sh.copyDone <- copyResult{s: s, bytes: n, err: err}
 }
 
@@ -86,6 +91,29 @@ func (w *deadlineWriter) Write(p []byte) (int, error) {
 		}
 	}
 	return w.c.Write(p)
+}
+
+// deadlineReader arms a read deadline before every chunk so a backend
+// that goes silent retires the session after Config.IdleTimeout instead
+// of pinning the copy goroutine until process shutdown. A timeout is
+// rewritten to errIdleTimeout, which io.CopyBuffer surfaces as the copy
+// error.
+type deadlineReader struct {
+	c net.Conn
+	d time.Duration
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	if r.d > 0 {
+		if err := r.c.SetReadDeadline(time.Now().Add(r.d)); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.c.Read(p)
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		err = errIdleTimeout
+	}
+	return n, err
 }
 
 // closeRelay has nothing to release here: the copy goroutine owns no
